@@ -1,0 +1,302 @@
+// Package aickpt is an adaptive asynchronous incremental checkpointing
+// runtime for iterative applications, reproducing "AI-Ckpt: Leveraging
+// Memory Access Patterns for Adaptive Asynchronous Incremental
+// Checkpointing" (Nicolae & Cappello, HPDC 2013).
+//
+// Applications allocate protected memory through a Runtime, mutate it
+// through Region accessors, and call Checkpoint at iteration boundaries.
+// Checkpointing is incremental (only pages written since the previous
+// checkpoint are saved) and asynchronous (a background committer flushes
+// pages while the application keeps running). First writes to
+// not-yet-flushed pages are absorbed by a bounded copy-on-write buffer, and
+// the order in which pages are flushed adapts to the application's current
+// and previous-epoch access pattern, minimizing the time the application
+// spends blocked on in-flight pages.
+//
+// A minimal session:
+//
+//	rt, err := aickpt.New(aickpt.Options{Dir: "ckpt-data"})
+//	if err != nil { ... }
+//	defer rt.Close()
+//	region := rt.MallocProtected(64 << 20)
+//	for iter := 0; iter < n; iter++ {
+//		step(region)
+//		if iter%10 == 9 {
+//			rt.Checkpoint()
+//		}
+//	}
+//
+// After a crash, Restore folds the sealed checkpoint chain back into a
+// memory image (see Image and Runtime.LoadImage).
+package aickpt
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/pagemem"
+	"repro/internal/sim"
+)
+
+// Strategy selects how checkpoints are written.
+type Strategy int
+
+const (
+	// Adaptive is asynchronous incremental checkpointing with
+	// access-pattern-adapted flush ordering — the paper's contribution
+	// and the default.
+	Adaptive Strategy = iota
+	// NoPattern is asynchronous incremental checkpointing that flushes
+	// dirty pages in ascending address order.
+	NoPattern
+	// Sync blocks inside Checkpoint until all dirty pages are stored.
+	Sync
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string { return coreStrategy(s).String() }
+
+func coreStrategy(s Strategy) core.Strategy {
+	switch s {
+	case Adaptive:
+		return core.Adaptive
+	case NoPattern:
+		return core.NoPattern
+	case Sync:
+		return core.Sync
+	default:
+		panic(fmt.Sprintf("aickpt: unknown strategy %d", int(s)))
+	}
+}
+
+// Store receives committed pages; implement it to plug in custom storage
+// backends (the paper's page manager is modular in the same way: POSIX file
+// systems, parallel file systems, cloud repositories). Epochs are sealed by
+// EndEpoch after their last page.
+type Store interface {
+	WritePage(epoch uint64, page int, data []byte, size int) error
+	EndEpoch(epoch uint64) error
+}
+
+// Options configures a Runtime.
+type Options struct {
+	// PageSize is the tracking granularity in bytes (default 4096, the
+	// operating-system page size used throughout the paper).
+	PageSize int
+	// CowBuffer bounds the copy-on-write buffer in bytes (default 16 MB,
+	// the paper's synthetic-benchmark setting). The number of slots is
+	// CowBuffer / PageSize. Zero disables copy-on-write; writes to
+	// not-yet-flushed pages then always wait.
+	CowBuffer int64
+	// DisableCow distinguishes "CowBuffer deliberately zero" from
+	// "CowBuffer left at its default".
+	DisableCow bool
+	// Strategy selects the checkpointing approach (default Adaptive).
+	Strategy Strategy
+	// Dir is the checkpoint repository directory. Exactly one of Dir and
+	// Store must be set.
+	Dir string
+	// Store overrides the repository with a custom backend.
+	Store Store
+	// Compression selects page compression for the durable repository
+	// (only meaningful with Dir): CompressionNone, CompressionZero
+	// (zero-page elimination) or CompressionFlate (DEFLATE). Restore
+	// decodes transparently.
+	Compression Compression
+}
+
+// Compression names a page codec for the durable repository.
+type Compression int
+
+const (
+	// CompressionNone stores pages verbatim.
+	CompressionNone Compression = iota
+	// CompressionZero elides all-zero pages (one byte each).
+	CompressionZero
+	// CompressionFlate applies DEFLATE with zero-page elision, falling
+	// back to verbatim storage for incompressible pages.
+	CompressionFlate
+)
+
+// Runtime is the per-process checkpointing runtime: it owns the protected
+// address space, the page manager and the storage backend.
+type Runtime struct {
+	opts    Options
+	space   *pagemem.Space
+	manager *core.Manager
+	repo    *ckpt.Repository // nil when a custom Store is used
+	fs      ckpt.FS          // nil when a custom Store is used
+	closed  bool
+}
+
+// New creates a runtime. With Options.Dir set, checkpoints are written to a
+// durable repository in that directory; with Options.Store set, pages go to
+// the custom backend.
+func New(opts Options) (*Runtime, error) {
+	if opts.PageSize == 0 {
+		opts.PageSize = 4096
+	}
+	if opts.PageSize < 16 {
+		return nil, fmt.Errorf("aickpt: page size %d too small", opts.PageSize)
+	}
+	if opts.CowBuffer == 0 && !opts.DisableCow {
+		opts.CowBuffer = 16 << 20
+	}
+	if opts.CowBuffer < 0 {
+		return nil, fmt.Errorf("aickpt: negative CowBuffer")
+	}
+	if (opts.Dir == "") == (opts.Store == nil) {
+		return nil, errors.New("aickpt: exactly one of Options.Dir and Options.Store must be set")
+	}
+	rt := &Runtime{opts: opts, space: pagemem.NewSpace(opts.PageSize)}
+	var backend Store
+	var firstEpoch uint64
+	if opts.Store != nil {
+		backend = opts.Store
+	} else {
+		fs, err := ckpt.NewOSFS(opts.Dir)
+		if err != nil {
+			return nil, err
+		}
+		rt.fs = fs
+		rt.repo = ckpt.NewRepository(fs, opts.PageSize)
+		switch opts.Compression {
+		case CompressionNone:
+		case CompressionZero:
+			rt.repo.SetCodec(compress.Zero)
+		case CompressionFlate:
+			rt.repo.SetCodec(compress.Flate)
+		default:
+			return nil, fmt.Errorf("aickpt: unknown compression %d", opts.Compression)
+		}
+		backend = rt.repo
+		// A restarted process extends the existing chain rather than
+		// overwriting it.
+		if last, ok, err := ckpt.LastSealedEpoch(fs); err != nil {
+			return nil, err
+		} else if ok {
+			firstEpoch = last
+		}
+	}
+	rt.manager = core.NewManager(core.Config{
+		Env:        sim.NewRealEnv(),
+		Space:      rt.space,
+		Store:      storeAdapter{backend},
+		Strategy:   coreStrategy(opts.Strategy),
+		CowSlots:   int(opts.CowBuffer / int64(opts.PageSize)),
+		FirstEpoch: firstEpoch,
+		Name:       "aickpt",
+	})
+	return rt, nil
+}
+
+// storeAdapter bridges the public Store interface to the internal backend
+// interface (they are structurally identical).
+type storeAdapter struct{ s Store }
+
+func (a storeAdapter) WritePage(epoch uint64, page int, data []byte, size int) error {
+	return a.s.WritePage(epoch, page, data, size)
+}
+func (a storeAdapter) EndEpoch(epoch uint64) error { return a.s.EndEpoch(epoch) }
+
+// PageSize returns the tracking granularity in bytes.
+func (rt *Runtime) PageSize() int { return rt.opts.PageSize }
+
+// MallocProtected allocates n bytes of checkpointed memory (the paper's
+// malloc_protected). The region participates in every subsequent
+// checkpoint.
+func (rt *Runtime) MallocProtected(n int) *Region {
+	return &Region{rt: rt, inner: rt.space.Alloc(n, false)}
+}
+
+// Free releases a protected region (free_protected), coordinating with any
+// in-flight checkpoint.
+func (rt *Runtime) Free(r *Region) {
+	rt.manager.Free(r.inner)
+}
+
+// TransparentAllocator returns an allocator whose every allocation is
+// protected, mirroring the paper's preloaded-malloc transparent mode for
+// applications that cannot name their checkpointable state explicitly.
+func (rt *Runtime) TransparentAllocator() *Allocator { return &Allocator{rt: rt} }
+
+// Checkpoint requests a checkpoint (the CHECKPOINT primitive). Under the
+// asynchronous strategies it returns as soon as the epoch is rotated; under
+// Sync it blocks until all dirty pages are stored. If a previous checkpoint
+// is still in flight, Checkpoint first waits for it to complete.
+func (rt *Runtime) Checkpoint() { rt.manager.Checkpoint() }
+
+// WaitIdle blocks until no checkpoint is in flight. Call it before reading
+// checkpoint statistics or shutting down cleanly mid-epoch.
+func (rt *Runtime) WaitIdle() { rt.manager.WaitIdle() }
+
+// Err returns the first storage error encountered by the committer.
+func (rt *Runtime) Err() error { return rt.manager.Err() }
+
+// Close drains in-flight work, stops the committer and releases the
+// runtime. It returns the first storage error, if any.
+func (rt *Runtime) Close() error {
+	if rt.closed {
+		return rt.manager.Err()
+	}
+	rt.closed = true
+	rt.manager.Close()
+	return rt.manager.Err()
+}
+
+// Stats returns per-checkpoint statistics (one entry per Checkpoint call).
+func (rt *Runtime) Stats() []EpochStats {
+	internal := rt.manager.Stats()
+	out := make([]EpochStats, len(internal))
+	for i, s := range internal {
+		out[i] = EpochStats{
+			Epoch:               s.Epoch,
+			PagesCommitted:      s.PagesCommitted,
+			BytesCommitted:      s.BytesCommitted,
+			Waits:               s.Waits,
+			Cows:                s.Cows,
+			Avoided:             s.Avoided,
+			After:               s.After,
+			WaitTime:            s.WaitTime,
+			BlockedInCheckpoint: s.BlockedInCheckpoint,
+			Duration:            s.Duration,
+		}
+	}
+	return out
+}
+
+// EpochStats describes one checkpoint: the size of its dirty set, how the
+// application's first writes were classified until the next checkpoint
+// (COW / WAIT / AVOIDED / AFTER), and the timing metrics used throughout
+// the paper's evaluation.
+type EpochStats struct {
+	Epoch               uint64
+	PagesCommitted      int
+	BytesCommitted      int64
+	Waits               int
+	Cows                int
+	Avoided             int
+	After               int
+	WaitTime            time.Duration
+	BlockedInCheckpoint time.Duration
+	Duration            time.Duration
+}
+
+// Allocator is the transparent-capture allocator: all allocations made
+// through it are protected and checkpointed.
+type Allocator struct {
+	rt *Runtime
+}
+
+// Alloc allocates n protected bytes.
+func (a *Allocator) Alloc(n int) *Region { return a.rt.MallocProtected(n) }
+
+// Calloc allocates count*size protected, zeroed bytes.
+func (a *Allocator) Calloc(count, size int) *Region { return a.rt.MallocProtected(count * size) }
+
+// Free releases a region through the runtime.
+func (a *Allocator) Free(r *Region) { a.rt.Free(r) }

@@ -1,0 +1,351 @@
+package aickpt
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRuntimeEndToEnd(t *testing.T) {
+	for _, strategy := range []Strategy{Adaptive, NoPattern, Sync} {
+		t.Run(strategy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			rt, err := New(Options{Dir: dir, PageSize: 256, Strategy: strategy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := rt.MallocProtected(16 * 256)
+			payload := bytes.Repeat([]byte{0xEE}, r.Size())
+			r.Write(0, payload)
+			rt.Checkpoint()
+			// Mutate after the checkpoint; epoch 1 must keep the old image.
+			r.StoreByte(0, 0x11)
+			rt.WaitIdle()
+			if err := rt.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			im, err := Restore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if im.Epoch != 1 {
+				t.Fatalf("restored epoch = %d", im.Epoch)
+			}
+			first, count := r.Pages()
+			var restored []byte
+			for p := first; p < first+count; p++ {
+				restored = append(restored, im.Page(p)...)
+			}
+			if !bytes.Equal(restored[:r.Size()], payload) {
+				t.Error("restored image lost the pre-checkpoint content")
+			}
+		})
+	}
+}
+
+func TestRuntimeRestartFlow(t *testing.T) {
+	dir := t.TempDir()
+	const size = 8 * 512
+
+	// First life: run, checkpoint twice, "crash".
+	rt, err := New(Options{Dir: dir, PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rt.MallocProtected(size)
+	state := bytes.Repeat([]byte{1}, size)
+	r.Write(0, state)
+	rt.Checkpoint()
+	rt.WaitIdle()
+	for i := 0; i < size; i += 512 {
+		r.StoreByte(i, 2)
+		state[i] = 2
+	}
+	rt.Checkpoint()
+	rt.WaitIdle()
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: restore into an identically laid-out runtime.
+	rt2, err := New(Options{Dir: dir, PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt2.Close()
+	r2 := rt2.MallocProtected(size)
+	im, err := Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt2.LoadImage(im, r2); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, size)
+	r2.Read(0, got)
+	if !bytes.Equal(got, state) {
+		t.Fatal("restart image differs from pre-crash state")
+	}
+	// Keep computing and checkpointing in the same repository.
+	r2.StoreByte(7, 9)
+	rt2.Checkpoint()
+	rt2.WaitIdle()
+	if err := rt2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	im2, err := Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im2.Epoch != 3 {
+		t.Fatalf("epoch after restart checkpoint = %d, want 3", im2.Epoch)
+	}
+	if im2.Page(0)[7] != 9 {
+		t.Error("post-restart write missing from repository")
+	}
+}
+
+func TestRuntimeStatsAndIncrementality(t *testing.T) {
+	dir := t.TempDir()
+	rt, err := New(Options{Dir: dir, PageSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	r := rt.MallocProtected(10 * 128)
+	r.Write(0, make([]byte, 10*128))
+	rt.Checkpoint()
+	rt.WaitIdle()
+	r.StoreByte(5*128, 1)
+	rt.Checkpoint()
+	rt.WaitIdle()
+	st := rt.Stats()
+	if len(st) != 2 {
+		t.Fatalf("stats = %d entries", len(st))
+	}
+	if st[0].PagesCommitted != 10 || st[1].PagesCommitted != 1 {
+		t.Errorf("committed = %d,%d; want 10,1", st[0].PagesCommitted, st[1].PagesCommitted)
+	}
+	if st[1].BytesCommitted != 128 {
+		t.Errorf("bytes = %d", st[1].BytesCommitted)
+	}
+}
+
+func TestTransparentAllocator(t *testing.T) {
+	dir := t.TempDir()
+	rt, err := New(Options{Dir: dir, PageSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	alloc := rt.TransparentAllocator()
+	a := alloc.Alloc(128)
+	b := alloc.Calloc(2, 128)
+	a.StoreByte(0, 1)
+	b.StoreByte(0, 2)
+	rt.Checkpoint()
+	rt.WaitIdle()
+	st := rt.Stats()
+	if st[0].PagesCommitted != 2 {
+		t.Errorf("committed = %d, want 2 (one touched page per allocation)", st[0].PagesCommitted)
+	}
+	alloc.Free(a)
+	b.StoreByte(128, 3)
+	rt.Checkpoint()
+	rt.WaitIdle()
+	st = rt.Stats()
+	if st[1].PagesCommitted != 1 {
+		t.Errorf("epoch2 committed = %d, want 1", st[1].PagesCommitted)
+	}
+}
+
+func TestInspectReportsHealth(t *testing.T) {
+	dir := t.TempDir()
+	rt, err := New(Options{Dir: dir, PageSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rt.MallocProtected(4 * 128)
+	r.Write(0, bytes.Repeat([]byte{5}, 4*128))
+	rt.Checkpoint()
+	rt.WaitIdle()
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := Inspect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || !reports[0].Healthy || reports[0].PageCount != 4 {
+		t.Fatalf("reports = %+v", reports)
+	}
+	// Corrupt the segment; Inspect must notice.
+	seg := filepath.Join(dir, fmt.Sprintf("epoch-%08d.pages", 1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[30] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reports, err = Inspect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports[0].Healthy {
+		t.Error("Inspect missed corruption")
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Error("neither Dir nor Store rejected")
+	}
+	if _, err := New(Options{Dir: "x", Store: nullStore{}}); err == nil {
+		t.Error("both Dir and Store rejected")
+	}
+	if _, err := New(Options{Dir: "x", PageSize: 4}); err == nil {
+		t.Error("tiny page size accepted")
+	}
+	if _, err := New(Options{Dir: "x", CowBuffer: -1}); err == nil {
+		t.Error("negative CowBuffer accepted")
+	}
+}
+
+type nullStore struct{}
+
+func (nullStore) WritePage(uint64, int, []byte, int) error { return nil }
+func (nullStore) EndEpoch(uint64) error                    { return nil }
+
+func TestCustomStoreAndDisabledCow(t *testing.T) {
+	rt, err := New(Options{Store: nullStore{}, PageSize: 128, DisableCow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	r := rt.MallocProtected(256)
+	r.StoreByte(0, 1)
+	rt.Checkpoint()
+	rt.WaitIdle()
+	if rt.Err() != nil {
+		t.Fatal(rt.Err())
+	}
+	st := rt.Stats()
+	if len(st) != 1 || st[0].PagesCommitted != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestWriteStatsCSVAndSummarize(t *testing.T) {
+	stats := []EpochStats{
+		{Epoch: 1, PagesCommitted: 10, BytesCommitted: 40960, Waits: 2, Cows: 3, Avoided: 4, After: 1},
+		{Epoch: 2, PagesCommitted: 5, BytesCommitted: 20480, Waits: 1},
+	}
+	var sb strings.Builder
+	if err := WriteStatsCSV(&sb, stats); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "1,10,40960,2,3,4,1,") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	sum := Summarize(stats)
+	if sum.Checkpoints != 2 || sum.PagesCommitted != 15 || sum.Waits != 3 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if sum.BytesCommitted != 61440 {
+		t.Errorf("bytes = %d", sum.BytesCommitted)
+	}
+}
+
+// TestConcurrentWriters exercises the real-time runtime with several
+// application goroutines mutating disjoint regions while checkpoints run:
+// the thread-safety contract of the fault path and the committer.
+func TestConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	rt, err := New(Options{Dir: dir, PageSize: 256, CowBuffer: 16 * 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 4
+	regions := make([]*Region, writers)
+	for i := range regions {
+		regions[i] = rt.MallocProtected(32 * 256)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i, r := range regions {
+		wg.Add(1)
+		go func(i int, r *Region) {
+			defer wg.Done()
+			buf := make([]byte, 64)
+			for round := 0; ; round++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for j := range buf {
+					buf[j] = byte(round + i)
+				}
+				r.Write((round%120)*64, buf)
+			}
+		}(i, r)
+	}
+	for c := 0; c < 5; c++ {
+		time.Sleep(2 * time.Millisecond)
+		rt.Checkpoint()
+	}
+	rt.WaitIdle()
+	close(stop)
+	wg.Wait()
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The repository must hold a consistent restorable chain.
+	if _, err := Restore(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressedRuntimeRoundTrip(t *testing.T) {
+	for _, comp := range []Compression{CompressionZero, CompressionFlate} {
+		dir := t.TempDir()
+		rt, err := New(Options{Dir: dir, PageSize: 512, Compression: comp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rt.MallocProtected(8 * 512)
+		// Half zero pages, half repetitive content.
+		pattern := bytes.Repeat([]byte{0xAB, 0xCD}, 256)
+		for p := 0; p < 4; p++ {
+			r.Write(p*512, pattern)
+		}
+		r.StoreByte(5*512, 0) // dirty a zero page too
+		rt.Checkpoint()
+		rt.WaitIdle()
+		if err := rt.Close(); err != nil {
+			t.Fatal(err)
+		}
+		im, err := Restore(dir)
+		if err != nil {
+			t.Fatalf("compression %d: %v", comp, err)
+		}
+		if !bytes.Equal(im.Page(0), pattern) {
+			t.Errorf("compression %d: content mismatch", comp)
+		}
+		if !bytes.Equal(im.Page(5), make([]byte, 512)) {
+			t.Errorf("compression %d: zero page mismatch", comp)
+		}
+	}
+}

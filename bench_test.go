@@ -1,0 +1,349 @@
+package aickpt
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (Figures 2a-2c, 3a/3b, 4a, 4b, 5), each reporting the figure's
+// headline quantities as custom metrics, plus microbenchmarks of the
+// runtime's hot paths and ablations of Algorithm 4's priority tiers.
+//
+// Figure benchmarks run the deterministic virtual-time simulation at a
+// reduced scale (see internal/experiments); per-iteration wall time is the
+// cost of simulating the experiment, while the reported custom metrics are
+// the simulated results themselves. `go run ./cmd/experiments` prints the
+// same numbers as tables.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/erasure"
+	"repro/internal/experiments"
+	"repro/internal/pagemem"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/util"
+	"repro/internal/workload"
+)
+
+const benchScale = 64 // memory division factor for figure benchmarks
+
+// BenchmarkFig2a reproduces Figure 2(a): increase in execution time of the
+// synthetic benchmark for each (pattern, approach).
+func BenchmarkFig2a(b *testing.B) {
+	for _, pattern := range []workload.Pattern{workload.Ascending, workload.Random, workload.Descending} {
+		for _, strategy := range experiments.Strategies {
+			b.Run(fmt.Sprintf("%v/%v", pattern, strategy), func(b *testing.B) {
+				cfg := experiments.NewSyntheticConfig(benchScale, pattern)
+				base := experiments.SyntheticBaseline(cfg)
+				var overhead float64
+				for i := 0; i < b.N; i++ {
+					run := experiments.RunSynthetic(cfg, strategy)
+					overhead = (run.Runtime - base).Seconds()
+				}
+				b.ReportMetric(overhead, "overhead-s")
+			})
+		}
+	}
+}
+
+// BenchmarkFig2b reproduces Figure 2(b): pages that triggered WAIT.
+func BenchmarkFig2b(b *testing.B) {
+	for _, pattern := range []workload.Pattern{workload.Ascending, workload.Random, workload.Descending} {
+		for _, strategy := range []core.Strategy{core.Adaptive, core.NoPattern} {
+			b.Run(fmt.Sprintf("%v/%v", pattern, strategy), func(b *testing.B) {
+				cfg := experiments.NewSyntheticConfig(benchScale, pattern)
+				var waits float64
+				for i := 0; i < b.N; i++ {
+					waits = experiments.RunSynthetic(cfg, strategy).AvgWaits
+				}
+				b.ReportMetric(waits, "waits/ckpt")
+			})
+		}
+	}
+}
+
+// BenchmarkFig2c reproduces Figure 2(c): pages that triggered AVOIDED.
+func BenchmarkFig2c(b *testing.B) {
+	for _, pattern := range []workload.Pattern{workload.Ascending, workload.Random, workload.Descending} {
+		for _, strategy := range []core.Strategy{core.Adaptive, core.NoPattern} {
+			b.Run(fmt.Sprintf("%v/%v", pattern, strategy), func(b *testing.B) {
+				cfg := experiments.NewSyntheticConfig(benchScale, pattern)
+				var avoided float64
+				for i := 0; i < b.N; i++ {
+					avoided = experiments.RunSynthetic(cfg, strategy).AvgAvoided
+				}
+				b.ReportMetric(avoided, "avoided/ckpt")
+			})
+		}
+	}
+}
+
+// BenchmarkFig3a reproduces Figure 3(a): CM1 average checkpointing time
+// under weak scaling.
+func BenchmarkFig3a(b *testing.B) {
+	for _, procs := range []int{1, 8} {
+		for _, strategy := range experiments.Strategies {
+			b.Run(fmt.Sprintf("procs%d/%v", procs, strategy), func(b *testing.B) {
+				cfg := experiments.NewCM1Config(2*benchScale, procs)
+				var ckpt float64
+				for i := 0; i < b.N; i++ {
+					ckpt = experiments.RunCM1(cfg, strategy, true).AvgCkptTime.Seconds()
+				}
+				b.ReportMetric(ckpt, "ckpt-s")
+			})
+		}
+	}
+}
+
+// BenchmarkFig3b reproduces Figure 3(b): CM1 increase in execution time
+// under weak scaling.
+func BenchmarkFig3b(b *testing.B) {
+	for _, procs := range []int{1, 8} {
+		for _, strategy := range experiments.Strategies {
+			b.Run(fmt.Sprintf("procs%d/%v", procs, strategy), func(b *testing.B) {
+				cfg := experiments.NewCM1Config(2*benchScale, procs)
+				base := experiments.RunCM1(cfg, core.Sync, false).Runtime
+				var overhead float64
+				for i := 0; i < b.N; i++ {
+					run := experiments.RunCM1(cfg, strategy, true)
+					overhead = (run.Runtime - base).Seconds()
+				}
+				b.ReportMetric(overhead, "overhead-s")
+			})
+		}
+	}
+}
+
+// BenchmarkFig4a reproduces Figure 4(a): CM1 reduction in checkpointing
+// overhead vs sync as the COW buffer grows.
+func BenchmarkFig4a(b *testing.B) {
+	for _, mb := range []int{0, 16, 256} {
+		b.Run(fmt.Sprintf("cow%dMB", mb), func(b *testing.B) {
+			var ours, np float64
+			for i := 0; i < b.N; i++ {
+				rows := experiments.Fig4a(2*benchScale, 8, []int{mb})
+				for _, r := range rows {
+					if r.Strategy == core.Adaptive {
+						ours = r.ReductionPct
+					} else {
+						np = r.ReductionPct
+					}
+				}
+			}
+			b.ReportMetric(ours, "ours-%")
+			b.ReportMetric(np, "no-pattern-%")
+		})
+	}
+}
+
+// BenchmarkFig4b reproduces Figure 4(b): the MILC COW sweep.
+func BenchmarkFig4b(b *testing.B) {
+	for _, mb := range []int{0, 16, 256} {
+		b.Run(fmt.Sprintf("cow%dMB", mb), func(b *testing.B) {
+			var ours, np float64
+			for i := 0; i < b.N; i++ {
+				rows := experiments.Fig4b(8*benchScale, 20, []int{mb})
+				for _, r := range rows {
+					if r.Strategy == core.Adaptive {
+						ours = r.ReductionPct
+					} else {
+						np = r.ReductionPct
+					}
+				}
+			}
+			b.ReportMetric(ours, "ours-%")
+			b.ReportMetric(np, "no-pattern-%")
+		})
+	}
+}
+
+// BenchmarkFig5 reproduces Figure 5: MILC weak scaling, COW deactivated.
+func BenchmarkFig5(b *testing.B) {
+	for _, procs := range []int{10, 20} {
+		for _, strategy := range experiments.Strategies {
+			b.Run(fmt.Sprintf("procs%d/%v", procs, strategy), func(b *testing.B) {
+				cfg := experiments.NewMILCConfig(8*benchScale, procs)
+				base := experiments.RunMILC(cfg, core.Sync, false).Runtime
+				var overhead float64
+				for i := 0; i < b.N; i++ {
+					run := experiments.RunMILC(cfg, strategy, true)
+					overhead = (run.Runtime - base).Seconds()
+				}
+				b.ReportMetric(overhead, "overhead-s")
+			})
+		}
+	}
+}
+
+// BenchmarkAblation measures the contribution of each priority tier of
+// Algorithm 4 (DESIGN.md §6): the waited-page hint and the live-COW slot
+// recycling preference, on the descending synthetic workload where ordering
+// matters most.
+func BenchmarkAblation(b *testing.B) {
+	variants := []struct {
+		name              string
+		noWaited, noIveCw bool
+	}{
+		{"full", false, false},
+		{"no-waited-hint", true, false},
+		{"no-cow-priority", false, true},
+		{"neither", true, true},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := experiments.NewSyntheticConfig(benchScale, workload.Descending)
+			cfg.NoWaitedHint = v.noWaited
+			cfg.NoLiveCowPriority = v.noIveCw
+			base := experiments.SyntheticBaseline(cfg)
+			var overhead float64
+			for i := 0; i < b.N; i++ {
+				run := experiments.RunSynthetic(cfg, core.Adaptive)
+				overhead = (run.Runtime - base).Seconds()
+			}
+			b.ReportMetric(overhead, "overhead-s")
+		})
+	}
+}
+
+// --- microbenchmarks of the runtime hot paths ---
+
+// BenchmarkFaultPath measures one trapped first write (fault -> handler ->
+// classification -> unprotect) on the real-time runtime with an in-memory
+// store.
+func BenchmarkFaultPath(b *testing.B) {
+	space := pagemem.NewSpace(4096)
+	m := core.NewManager(core.Config{
+		Env: sim.NewRealEnv(), Space: space, Store: storage.NullStore{},
+		Strategy: core.Adaptive, CowSlots: 1 << 20, Name: "bench",
+	})
+	defer m.Close()
+	r := space.Alloc(1<<30, true) // 256k pages
+	_, count := r.Pages()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Touch(i % count)
+	}
+}
+
+// BenchmarkUnprotectedWrite measures the write path once a page's
+// protection has been lifted (the common case within an epoch).
+func BenchmarkUnprotectedWrite(b *testing.B) {
+	space := pagemem.NewSpace(4096)
+	r := space.Alloc(1<<20, false)
+	buf := make([]byte, 64)
+	r.Write(0, buf) // lift protection (no handler installed)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Write(0, buf)
+	}
+}
+
+// BenchmarkCheckpointCycle measures a full checkpoint round (rotate,
+// re-protect, flush to a null store) for a 64 MB dirty set.
+func BenchmarkCheckpointCycle(b *testing.B) {
+	space := pagemem.NewSpace(4096)
+	m := core.NewManager(core.Config{
+		Env: sim.NewRealEnv(), Space: space, Store: storage.NullStore{},
+		Strategy: core.Adaptive, CowSlots: 4096, Name: "bench",
+	})
+	defer m.Close()
+	const pages = 16384
+	r := space.Alloc(pages*4096, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p := 0; p < pages; p++ {
+			r.Touch(p)
+		}
+		m.Checkpoint()
+		m.WaitIdle()
+	}
+	b.ReportMetric(float64(pages), "pages/ckpt")
+}
+
+// BenchmarkAdaptiveSelectorBuild measures building the Algorithm 4 priority
+// queues for a 65536-page dirty set (the per-checkpoint cost).
+func BenchmarkAdaptiveSelectorBuild(b *testing.B) {
+	const pages = 65536
+	rng := util.NewRNG(1)
+	lastAT := make([]core.AccessType, pages)
+	lastIndex := make([]int32, pages)
+	dirty := util.NewBitset(pages)
+	for p := 0; p < pages; p++ {
+		dirty.Set(p)
+		lastAT[p] = core.AccessType(rng.Intn(5))
+		lastIndex[p] = int32(rng.Intn(pages))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.BuildAdaptiveSelectorForBench(dirty, lastAT, lastIndex)
+	}
+}
+
+// BenchmarkRepositoryWrite measures the durable page-commit path (record
+// framing + hashing + buffered write) into an in-memory FS.
+func BenchmarkRepositoryWrite(b *testing.B) {
+	fs := &ckpt.MemFS{}
+	repo := ckpt.NewRepository(fs, 4096)
+	page := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := repo.WritePage(1, i, page, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkErasureEncode measures Reed-Solomon encoding of a 4 KB page into
+// 8+2 shards.
+func BenchmarkErasureEncode(b *testing.B) {
+	c := erasure.New(8, 2)
+	rng := util.NewRNG(2)
+	page := make([]byte, 4096)
+	for i := range page {
+		page[i] = byte(rng.Uint64())
+	}
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Encode(page)
+	}
+}
+
+// BenchmarkCompressPage measures DEFLATE page compression of typical
+// floating-point-like content.
+func BenchmarkCompressPage(b *testing.B) {
+	rng := util.NewRNG(3)
+	page := make([]byte, 4096)
+	for i := 0; i < len(page); i += 8 {
+		v := rng.Uint64() & 0x000fffffffffffff // low entropy in high bytes
+		for j := 0; j < 8; j++ {
+			page[i+j] = byte(v >> (8 * j))
+		}
+	}
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compress.Encode(compress.Flate, page)
+	}
+}
+
+// BenchmarkKernelHandoff measures one virtual-time process dispatch
+// (sleep -> schedule -> resume), the unit cost of every simulated event.
+func BenchmarkKernelHandoff(b *testing.B) {
+	k := sim.NewKernel()
+	n := b.N
+	k.Go("spinner", func() {
+		for i := 0; i < n; i++ {
+			k.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,52 @@
+// Command ckpt-inspect examines an AI-Ckpt checkpoint repository: it lists
+// every sealed epoch, verifies record integrity (per-page FNV-64a hashes)
+// and reports the restart point.
+//
+// Usage:
+//
+//	ckpt-inspect <repository-dir>
+package main
+
+import (
+	"fmt"
+	"os"
+
+	aickpt "repro"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: ckpt-inspect <repository-dir>")
+		os.Exit(2)
+	}
+	dir := os.Args[1]
+	reports, err := aickpt.Inspect(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ckpt-inspect:", err)
+		os.Exit(1)
+	}
+	if len(reports) == 0 {
+		fmt.Println("no sealed epochs found")
+		os.Exit(0)
+	}
+	fmt.Printf("%-8s %-10s %-8s %-12s %-8s %s\n", "epoch", "pagesize", "pages", "bytes", "healthy", "problem")
+	healthy := true
+	for _, r := range reports {
+		status := "yes"
+		if !r.Healthy {
+			status = "NO"
+			healthy = false
+		}
+		fmt.Printf("%-8d %-10d %-8d %-12d %-8s %s\n",
+			r.Epoch, r.PageSize, r.PageCount, r.TotalBytes, status, r.Problem)
+	}
+	if im, err := aickpt.Restore(dir); err == nil {
+		fmt.Printf("\nrestart point: epoch %d (%d distinct pages, %d B page size)\n",
+			im.Epoch, len(im.PageIDs()), im.PageSize)
+	} else {
+		fmt.Printf("\nrestore would fail: %v\n", err)
+	}
+	if !healthy {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,44 @@
+// Command cm1sim runs the CM1 case study (§4.4): an atmospheric stencil
+// model on a simulated Grid'5000 deployment checkpointing to a PVFS-like
+// parallel file system on 10 storage nodes.
+//
+// Modes:
+//
+//	cm1sim -weak            weak-scalability sweep (Figures 3a and 3b)
+//	cm1sim -cowsweep        COW-buffer sweep at 32 processes (Figure 4a)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	weak := flag.Bool("weak", false, "run the weak-scalability sweep (Figure 3)")
+	cowsweep := flag.Bool("cowsweep", false, "run the COW-buffer sweep (Figure 4a)")
+	scale := flag.Int("scale", 2*experiments.ScaleBench, "memory division factor (1 = paper scale)")
+	maxProcs := flag.Int("procs", 32, "maximum process count")
+	flag.Parse()
+
+	if !*weak && !*cowsweep {
+		fmt.Fprintln(os.Stderr, "choose -weak and/or -cowsweep")
+		os.Exit(2)
+	}
+	if *weak {
+		var procs []int
+		for p := 1; p <= *maxProcs; p *= 2 {
+			procs = append(procs, p)
+		}
+		if procs[len(procs)-1] != *maxProcs {
+			procs = append(procs, *maxProcs)
+		}
+		experiments.RenderFig3(os.Stdout, experiments.Fig3(*scale, procs))
+	}
+	if *cowsweep {
+		rows := experiments.Fig4a(*scale, *maxProcs, []int{0, 1, 4, 16, 64, 256})
+		experiments.RenderFig4(os.Stdout, "Figure 4(a)", rows)
+	}
+}

@@ -1,0 +1,73 @@
+// Command experiments regenerates every figure of the paper's evaluation
+// (Figures 2a-2c, 3a-3b, 4a, 4b and 5) using the virtual-time simulation of
+// the Grid'5000 and Shamrock testbeds.
+//
+// Usage:
+//
+//	experiments [-fig all|2|3|4a|4b|5] [-scale N]
+//
+// scale divides every memory quantity of the paper's setup (region sizes,
+// COW buffers) by N while preserving the ratios that drive the dynamics;
+// scale=1 reproduces the full sizes but simulates tens of millions of
+// events. The defaults complete in a few minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: all, 2, 3, 4a, 4b, 5")
+	scale := flag.Int("scale", experiments.ScaleBench, "memory division factor (1 = paper scale)")
+	flag.Parse()
+
+	run := func(name string, effScale int, f func()) {
+		start := time.Now()
+		fmt.Printf("--- %s (memory scale 1/%d) ---\n", name, effScale)
+		f()
+		fmt.Printf("(completed in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	any := false
+	if *fig == "all" || *fig == "2" {
+		any = true
+		run("Figure 2: synthetic benchmark", *scale, func() {
+			experiments.RenderFig2(os.Stdout, experiments.Fig2(*scale))
+		})
+	}
+	if *fig == "all" || *fig == "3" {
+		any = true
+		run("Figure 3: CM1 weak scalability", 2**scale, func() {
+			experiments.RenderFig3(os.Stdout, experiments.Fig3(2**scale, []int{1, 2, 4, 8, 16, 32}))
+		})
+	}
+	if *fig == "all" || *fig == "4a" {
+		any = true
+		run("Figure 4(a): CM1 COW sweep, 32 processes", 2**scale, func() {
+			rows := experiments.Fig4a(2**scale, 32, []int{0, 1, 4, 16, 64, 256})
+			experiments.RenderFig4(os.Stdout, "Figure 4(a)", rows)
+		})
+	}
+	if *fig == "all" || *fig == "5" {
+		any = true
+		run("Figure 5: MILC weak scalability", 8**scale, func() {
+			experiments.RenderFig5(os.Stdout, experiments.Fig5(8**scale, []int{10, 40, 120, 280}))
+		})
+	}
+	if *fig == "all" || *fig == "4b" {
+		any = true
+		run("Figure 4(b): MILC COW sweep, 280 processes", 8**scale, func() {
+			rows := experiments.Fig4b(8**scale, 280, []int{0, 1, 4, 16, 64, 256})
+			experiments.RenderFig4(os.Stdout, "Figure 4(b)", rows)
+		})
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}

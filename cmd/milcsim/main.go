@@ -1,0 +1,43 @@
+// Command milcsim runs the MILC case study (§4.5): a lattice-QCD
+// configuration-generation workload on a simulated Shamrock deployment (10
+// processes per node, checkpoints on node-local disks).
+//
+// Modes:
+//
+//	milcsim -weak            weak-scalability sweep (Figure 5)
+//	milcsim -cowsweep        COW-buffer sweep at 280 processes (Figure 4b)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	weak := flag.Bool("weak", false, "run the weak-scalability sweep (Figure 5)")
+	cowsweep := flag.Bool("cowsweep", false, "run the COW-buffer sweep (Figure 4b)")
+	scale := flag.Int("scale", 8*experiments.ScaleBench, "memory division factor (1 = paper scale)")
+	maxProcs := flag.Int("procs", 280, "maximum process count (multiple of 10)")
+	flag.Parse()
+
+	if !*weak && !*cowsweep {
+		fmt.Fprintln(os.Stderr, "choose -weak and/or -cowsweep")
+		os.Exit(2)
+	}
+	if *weak {
+		var procs []int
+		for _, p := range []int{10, 40, 120, 280} {
+			if p <= *maxProcs {
+				procs = append(procs, p)
+			}
+		}
+		experiments.RenderFig5(os.Stdout, experiments.Fig5(*scale, procs))
+	}
+	if *cowsweep {
+		rows := experiments.Fig4b(*scale, *maxProcs, []int{0, 1, 4, 16, 64, 256})
+		experiments.RenderFig4(os.Stdout, "Figure 4(b)", rows)
+	}
+}

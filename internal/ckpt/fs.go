@@ -1,0 +1,169 @@
+// Package ckpt implements the durable checkpoint repository: the on-disk
+// (or in-memory) format that the page manager's committer writes and that
+// restart reads back. An epoch's pages are appended to a segment file as
+// self-checking records; the epoch is sealed by writing its manifest last,
+// so a crash mid-checkpoint leaves an unsealed epoch that restore ignores —
+// restart always sees a consistent image, which is the correctness contract
+// of checkpoint-restart.
+package ckpt
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FS is the minimal filesystem surface the repository needs; it has a real
+// directory-backed implementation (OSFS) and an in-memory one (MemFS) for
+// tests and simulations.
+type FS interface {
+	// Create opens name for writing, truncating any previous content.
+	Create(name string) (io.WriteCloser, error)
+	// Open opens name for reading.
+	Open(name string) (io.ReadCloser, error)
+	// List returns all file names, sorted.
+	List() ([]string, error)
+	// Remove deletes name.
+	Remove(name string) error
+}
+
+// MemFS is an in-memory FS. The zero value is ready to use.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+type memFile struct {
+	fs   *MemFS
+	name string
+	buf  []byte
+	done bool
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	if f.done {
+		return 0, fmt.Errorf("ckpt: write to closed file %q", f.name)
+	}
+	f.buf = append(f.buf, p...)
+	return len(p), nil
+}
+
+func (f *memFile) Close() error {
+	if f.done {
+		return nil
+	}
+	f.done = true
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.fs.files[f.name] = f.buf
+	return nil
+}
+
+// Create implements FS.
+func (m *MemFS) Create(name string) (io.WriteCloser, error) {
+	m.mu.Lock()
+	if m.files == nil {
+		m.files = map[string][]byte{}
+	}
+	m.mu.Unlock()
+	return &memFile{fs: m, name: name}, nil
+}
+
+// Open implements FS.
+func (m *MemFS) Open(name string) (io.ReadCloser, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("ckpt: file %q does not exist", name)
+	}
+	return io.NopCloser(strings.NewReader(string(data))), nil
+}
+
+// List implements FS.
+func (m *MemFS) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.files))
+	for n := range m.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("ckpt: file %q does not exist", name)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// Drop removes a file without error checking; tests use it to simulate
+// partial loss.
+func (m *MemFS) Drop(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.files, name)
+}
+
+// Truncate cuts a file to n bytes, simulating a torn write after a crash.
+func (m *MemFS) Truncate(name string, n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if data, ok := m.files[name]; ok && n < len(data) {
+		m.files[name] = data[:n]
+	}
+}
+
+// OSFS stores files in a real directory.
+type OSFS struct {
+	Dir string
+}
+
+// NewOSFS creates (if necessary) and wraps dir.
+func NewOSFS(dir string) (*OSFS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	return &OSFS{Dir: dir}, nil
+}
+
+// Create implements FS.
+func (o *OSFS) Create(name string) (io.WriteCloser, error) {
+	return os.Create(filepath.Join(o.Dir, name))
+}
+
+// Open implements FS.
+func (o *OSFS) Open(name string) (io.ReadCloser, error) {
+	return os.Open(filepath.Join(o.Dir, name))
+}
+
+// List implements FS.
+func (o *OSFS) List() ([]string, error) {
+	entries, err := os.ReadDir(o.Dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Remove implements FS.
+func (o *OSFS) Remove(name string) error {
+	return os.Remove(filepath.Join(o.Dir, name))
+}

@@ -1,0 +1,176 @@
+package ckpt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sync"
+
+	"repro/internal/compress"
+)
+
+// Record format inside epoch-%08d.pages:
+//
+//	magic   uint32  'AICP'
+//	page    uint32
+//	size    uint32  (payload bytes)
+//	hash    uint64  (FNV-64a of payload)
+//	payload [size]byte
+//
+// The manifest epoch-%08d.json is written when the epoch is sealed and is
+// the commit point: epochs without a manifest are ignored on restore.
+
+const recordMagic = 0x41494350 // "AICP"
+
+func segmentName(epoch uint64) string  { return fmt.Sprintf("epoch-%08d.pages", epoch) }
+func manifestName(epoch uint64) string { return fmt.Sprintf("epoch-%08d.json", epoch) }
+
+// Manifest describes one sealed epoch.
+type Manifest struct {
+	Epoch      uint64 `json:"epoch"`
+	PageSize   int    `json:"page_size"`
+	PageCount  int    `json:"page_count"`
+	TotalBytes int64  `json:"total_bytes"`
+	// Codec names the compression codec applied to every record payload
+	// of the epoch (0 = none); restore decodes transparently.
+	Codec uint8 `json:"codec,omitempty"`
+	Pages []int `json:"pages"`
+}
+
+// Repository stores checkpoint epochs on an FS. It implements
+// storage.Backend so the page manager can commit straight into it.
+type Repository struct {
+	fs       FS
+	pageSize int
+	codec    compress.Codec
+
+	mu      sync.Mutex
+	cur     io.WriteCloser
+	curBuf  *bufio.Writer
+	curMan  Manifest
+	curOpen bool
+}
+
+// NewRepository returns a repository writing pageSize-sized pages to fs.
+func NewRepository(fs FS, pageSize int) *Repository {
+	if pageSize <= 0 {
+		panic("ckpt: non-positive page size")
+	}
+	return &Repository{fs: fs, pageSize: pageSize}
+}
+
+// SetCodec enables payload compression for all subsequently written epochs
+// (compress.Zero for zero-page elimination, compress.Flate for DEFLATE).
+// Restore decodes transparently via the manifest's codec field. Must not be
+// called while an epoch is open.
+func (r *Repository) SetCodec(c compress.Codec) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.curOpen {
+		panic("ckpt: SetCodec with an open epoch")
+	}
+	r.codec = c
+}
+
+// PageSize returns the page size the repository was created with.
+func (r *Repository) PageSize() int { return r.pageSize }
+
+// WritePage implements storage.Backend. Pages of an epoch may arrive in any
+// order; the first page of a new epoch opens its segment. data must be
+// non-nil (the repository stores real content; phantom simulations use the
+// timing backends instead).
+func (r *Repository) WritePage(epoch uint64, page int, data []byte, size int) error {
+	if data == nil {
+		return fmt.Errorf("ckpt: nil page data for page %d (phantom writes not storable)", page)
+	}
+	if len(data) != size {
+		return fmt.Errorf("ckpt: page %d: data length %d != size %d", page, len(data), size)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.curOpen && r.curMan.Epoch != epoch {
+		return fmt.Errorf("ckpt: page for epoch %d while epoch %d is open", epoch, r.curMan.Epoch)
+	}
+	if !r.curOpen {
+		f, err := r.fs.Create(segmentName(epoch))
+		if err != nil {
+			return fmt.Errorf("ckpt: create segment: %w", err)
+		}
+		r.cur = f
+		r.curBuf = bufio.NewWriter(f)
+		r.curMan = Manifest{Epoch: epoch, PageSize: r.pageSize, Codec: uint8(r.codec)}
+		r.curOpen = true
+	}
+	if r.codec != compress.None {
+		data = compress.Encode(r.codec, data)
+		size = len(data)
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	var hdr [20]byte
+	binary.LittleEndian.PutUint32(hdr[0:], recordMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(page))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(size))
+	binary.LittleEndian.PutUint64(hdr[12:], h.Sum64())
+	if _, err := r.curBuf.Write(hdr[:]); err != nil {
+		return fmt.Errorf("ckpt: write header: %w", err)
+	}
+	if _, err := r.curBuf.Write(data); err != nil {
+		return fmt.Errorf("ckpt: write payload: %w", err)
+	}
+	r.curMan.PageCount++
+	r.curMan.TotalBytes += int64(len(hdr)) + int64(size)
+	r.curMan.Pages = append(r.curMan.Pages, page)
+	return nil
+}
+
+// EndEpoch implements storage.Backend: it flushes the segment and writes the
+// manifest, sealing the epoch.
+func (r *Repository) EndEpoch(epoch uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.curOpen {
+		// An epoch with zero dirty pages still seals (empty manifest) so
+		// restore knows the checkpoint completed.
+		r.curMan = Manifest{Epoch: epoch, PageSize: r.pageSize}
+	} else if r.curMan.Epoch != epoch {
+		return fmt.Errorf("ckpt: sealing epoch %d while epoch %d is open", epoch, r.curMan.Epoch)
+	}
+	if r.curOpen {
+		if err := r.curBuf.Flush(); err != nil {
+			return fmt.Errorf("ckpt: flush segment: %w", err)
+		}
+		if err := r.cur.Close(); err != nil {
+			return fmt.Errorf("ckpt: close segment: %w", err)
+		}
+	}
+	mf, err := r.fs.Create(manifestName(epoch))
+	if err != nil {
+		return fmt.Errorf("ckpt: create manifest: %w", err)
+	}
+	enc := json.NewEncoder(mf)
+	if err := enc.Encode(&r.curMan); err != nil {
+		mf.Close()
+		return fmt.Errorf("ckpt: encode manifest: %w", err)
+	}
+	if err := mf.Close(); err != nil {
+		return fmt.Errorf("ckpt: close manifest: %w", err)
+	}
+	r.curOpen = false
+	r.cur, r.curBuf = nil, nil
+	return nil
+}
+
+// Abort discards any open, unsealed epoch (used on shutdown after failure).
+func (r *Repository) Abort() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.curOpen {
+		r.cur.Close()
+		r.curOpen = false
+		r.cur, r.curBuf = nil, nil
+	}
+}

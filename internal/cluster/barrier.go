@@ -1,0 +1,50 @@
+// Package cluster assembles simulated HPC deployments for the evaluation
+// harness: compute nodes with per-node NICs and local disks, MPI-like
+// process groups with barriers, and PVFS-like storage deployments — the
+// Grid'5000 and Shamrock configurations of the paper's §4.1.
+package cluster
+
+import (
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Barrier synchronizes a fixed group of processes: Wait blocks until all n
+// members arrive, then releases the generation together. Tightly coupled
+// applications synchronize every iteration, which is how one slow process's
+// checkpointing jitter delays everyone (the paper's §3.1 concern).
+type Barrier struct {
+	mu      sync.Locker
+	cond    sim.Cond
+	n       int
+	arrived int
+	gen     uint64
+}
+
+// NewBarrier returns a barrier for n processes.
+func NewBarrier(env sim.Env, n int) *Barrier {
+	if n <= 0 {
+		panic("cluster: barrier needs at least one process")
+	}
+	mu := env.NewMutex()
+	return &Barrier{mu: mu, cond: env.NewCond(mu), n: n}
+}
+
+// Wait blocks until all processes of the group have called Wait for the
+// current generation.
+func (b *Barrier) Wait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for b.gen == gen {
+		b.cond.Wait()
+	}
+}

@@ -1,0 +1,124 @@
+// Package compress provides page-image compression for checkpoint streams.
+// The paper notes that incremental checkpointing composes with compression
+// (ref [26]); this package supplies the two codecs relevant to HPC memory
+// images: zero-page elimination (scientific arrays are sparse right after
+// allocation) and DEFLATE for general content. Codecs are self-describing:
+// the first output byte names the codec so Decode needs no side channel.
+package compress
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+)
+
+// Codec identifies a compression algorithm.
+type Codec byte
+
+const (
+	// None stores the page verbatim.
+	None Codec = 0
+	// Zero encodes an all-zero page in one byte.
+	Zero Codec = 1
+	// Flate applies DEFLATE (fastest level) and falls back to None when
+	// compression does not help.
+	Flate Codec = 2
+)
+
+// Encode compresses page with the requested codec and returns a
+// self-describing blob. Encode never fails: codecs that cannot shrink the
+// input fall back to a verbatim encoding.
+func Encode(codec Codec, page []byte) []byte {
+	switch codec {
+	case None:
+		return encodeRaw(page)
+	case Zero, Flate:
+		if isZero(page) {
+			return []byte{byte(Zero)}
+		}
+		if codec == Zero {
+			return encodeRaw(page)
+		}
+		var buf bytes.Buffer
+		buf.WriteByte(byte(Flate))
+		w, err := flate.NewWriter(&buf, flate.BestSpeed)
+		if err != nil {
+			return encodeRaw(page)
+		}
+		if _, err := w.Write(page); err != nil {
+			return encodeRaw(page)
+		}
+		if err := w.Close(); err != nil {
+			return encodeRaw(page)
+		}
+		if buf.Len() >= len(page)+1 {
+			return encodeRaw(page)
+		}
+		return buf.Bytes()
+	default:
+		panic(fmt.Sprintf("compress: unknown codec %d", codec))
+	}
+}
+
+func encodeRaw(page []byte) []byte {
+	out := make([]byte, 1+len(page))
+	out[0] = byte(None)
+	copy(out[1:], page)
+	return out
+}
+
+// Decode reverses Encode. pageSize is the expected decoded length and is
+// validated.
+func Decode(blob []byte, pageSize int) ([]byte, error) {
+	if len(blob) == 0 {
+		return nil, fmt.Errorf("compress: empty blob")
+	}
+	switch Codec(blob[0]) {
+	case None:
+		if len(blob)-1 != pageSize {
+			return nil, fmt.Errorf("compress: raw blob is %d bytes, want %d", len(blob)-1, pageSize)
+		}
+		out := make([]byte, pageSize)
+		copy(out, blob[1:])
+		return out, nil
+	case Zero:
+		if len(blob) != 1 {
+			return nil, fmt.Errorf("compress: malformed zero-page blob")
+		}
+		return make([]byte, pageSize), nil
+	case Flate:
+		r := flate.NewReader(bytes.NewReader(blob[1:]))
+		defer r.Close()
+		out := make([]byte, 0, pageSize)
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Read(buf)
+			out = append(out, buf[:n]...)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("compress: inflate: %w", err)
+			}
+			if len(out) > pageSize {
+				return nil, fmt.Errorf("compress: inflated size exceeds page size %d", pageSize)
+			}
+		}
+		if len(out) != pageSize {
+			return nil, fmt.Errorf("compress: inflated to %d bytes, want %d", len(out), pageSize)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("compress: unknown codec byte %d", blob[0])
+	}
+}
+
+func isZero(p []byte) bool {
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}

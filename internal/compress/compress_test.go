@@ -1,0 +1,88 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/util"
+)
+
+func roundTrip(t *testing.T, codec Codec, page []byte) []byte {
+	t.Helper()
+	blob := Encode(codec, page)
+	got, err := Decode(blob, len(page))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !bytes.Equal(got, page) {
+		t.Fatalf("round trip mismatch for codec %d", codec)
+	}
+	return blob
+}
+
+func TestZeroPageShrinksToOneByte(t *testing.T) {
+	page := make([]byte, 4096)
+	for _, codec := range []Codec{Zero, Flate} {
+		blob := roundTrip(t, codec, page)
+		if len(blob) != 1 {
+			t.Errorf("codec %d: zero page encoded to %d bytes", codec, len(blob))
+		}
+	}
+}
+
+func TestNoneIsVerbatim(t *testing.T) {
+	page := []byte{1, 2, 3, 4}
+	blob := roundTrip(t, None, page)
+	if len(blob) != 5 {
+		t.Errorf("raw blob length %d", len(blob))
+	}
+}
+
+func TestFlateCompressesRepetitiveContent(t *testing.T) {
+	page := bytes.Repeat([]byte("abcdefgh"), 512) // 4 KB, highly compressible
+	blob := roundTrip(t, Flate, page)
+	if len(blob) >= len(page)/2 {
+		t.Errorf("flate blob %d bytes for compressible 4 KB page", len(blob))
+	}
+}
+
+func TestFlateFallsBackOnIncompressible(t *testing.T) {
+	r := util.NewRNG(3)
+	page := make([]byte, 4096)
+	for i := range page {
+		page[i] = byte(r.Uint64())
+	}
+	blob := roundTrip(t, Flate, page)
+	if len(blob) > len(page)+1 {
+		t.Errorf("blob grew to %d bytes (no fallback?)", len(blob))
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(nil, 4096); err == nil {
+		t.Error("empty blob accepted")
+	}
+	if _, err := Decode([]byte{99, 1, 2}, 4096); err == nil {
+		t.Error("unknown codec accepted")
+	}
+	if _, err := Decode([]byte{byte(None), 1, 2}, 4096); err == nil {
+		t.Error("truncated raw blob accepted")
+	}
+	if _, err := Decode([]byte{byte(Zero), 0}, 4096); err == nil {
+		t.Error("malformed zero blob accepted")
+	}
+}
+
+// Property: Decode(Encode(p)) == p for all codecs and arbitrary content.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(page []byte, c uint8) bool {
+		codec := Codec(c % 3)
+		blob := Encode(codec, page)
+		got, err := Decode(blob, len(page))
+		return err == nil && bytes.Equal(got, page)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,435 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/pagemem"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/util"
+)
+
+// Manager is the page manager of one application process (Figure 1 of the
+// paper). It consists of the two concurrent modules of §3.3: the
+// asynchronous committer (ASYNC_COMMIT) and the write-fault handler
+// (PROTECTED_PAGE_HANDLER), which compete for the monitored pages and
+// synchronize through the manager's mutex and condition variables.
+type Manager struct {
+	cfg   Config
+	env   sim.Env
+	space *pagemem.Space
+	store storage.Backend
+
+	mu            sync.Locker
+	committerKick sim.Cond // committer <- Checkpoint notifications
+	pageDone      sim.Cond // handler <- committer page/slot notifications
+	ckptDone      sim.Cond // Checkpoint/WaitIdle <- committer completion
+	exitDone      sim.Cond // Close <- committer exit
+
+	epoch      uint64
+	inProgress bool
+	closed     bool
+	exited     bool
+	firstErr   error
+
+	// Per-page metadata, indexed by global page ID (§3.3 data structures).
+	npages    int
+	state     []PageState
+	at        []AccessType
+	index     []int32
+	lastAT    []AccessType
+	lastIndex []int32
+	dirty     *util.Bitset
+	lastDirty *util.Bitset
+
+	accessOrder int32
+
+	cow          map[int][]byte // page -> pre-write copy (nil value: phantom)
+	cowUsed      int
+	waitedQueue  []int // pages the application is blocked on (WaitedPage)
+	liveCowQueue []int // pages that took a COW slot this epoch
+
+	sel selector
+
+	cur     EpochStats
+	history []EpochStats
+}
+
+// NewManager builds a manager over cfg.Space, installs its fault handler and
+// (for the asynchronous strategies) starts the committer process.
+func NewManager(cfg Config) *Manager {
+	if cfg.Env == nil || cfg.Space == nil || cfg.Store == nil {
+		panic("core: Config needs Env, Space and Store")
+	}
+	if cfg.CowSlots < 0 {
+		panic("core: negative CowSlots")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "aickpt"
+	}
+	m := &Manager{
+		cfg:       cfg,
+		env:       cfg.Env,
+		space:     cfg.Space,
+		store:     cfg.Store,
+		epoch:     cfg.FirstEpoch,
+		cow:       map[int][]byte{},
+		dirty:     util.NewBitset(0),
+		lastDirty: util.NewBitset(0),
+	}
+	m.mu = m.env.NewMutex()
+	m.committerKick = m.env.NewCond(m.mu)
+	m.pageDone = m.env.NewCond(m.mu)
+	m.ckptDone = m.env.NewCond(m.mu)
+	m.exitDone = m.env.NewCond(m.mu)
+	m.space.SetFaultHandler(m.handleFault)
+	if cfg.Strategy == Sync {
+		m.exited = true // no committer process
+	} else {
+		m.env.Go(cfg.Name+"-committer", m.committer)
+	}
+	return m
+}
+
+// Strategy returns the configured strategy.
+func (m *Manager) Strategy() Strategy { return m.cfg.Strategy }
+
+// Epoch returns the number of checkpoints requested so far.
+func (m *Manager) Epoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// Err returns the first storage error encountered, if any.
+func (m *Manager) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.firstErr
+}
+
+// ensureLocked grows the per-page metadata to cover at least n pages.
+func (m *Manager) ensureLocked(n int) {
+	if n <= m.npages {
+		return
+	}
+	grow := n + n/4
+	st := make([]PageState, grow)
+	copy(st, m.state)
+	m.state = st
+	at := make([]AccessType, grow)
+	copy(at, m.at)
+	m.at = at
+	idx := make([]int32, grow)
+	copy(idx, m.index)
+	m.index = idx
+	lat := make([]AccessType, grow)
+	copy(lat, m.lastAT)
+	m.lastAT = lat
+	lidx := make([]int32, grow)
+	copy(lidx, m.lastIndex)
+	m.lastIndex = lidx
+	m.dirty.Grow(grow)
+	m.lastDirty.Grow(grow)
+	m.npages = grow
+}
+
+// Checkpoint initiates a checkpoint (the CHECKPOINT primitive). For the
+// asynchronous strategies it implements Algorithm 1: wait for a previous
+// checkpoint to complete, rotate the epoch bookkeeping, write-protect all
+// pages and wake the committer; the application does not block during the
+// flush itself. For the Sync strategy it commits the whole dirty set inline
+// before returning.
+func (m *Manager) Checkpoint() {
+	start := m.env.Now()
+	// Acquire the space's write gate before rotating, so no application
+	// store that already passed its fault check is still copying into a
+	// page we are about to schedule (lock order: writeGate, then m.mu —
+	// the same order the fault handler uses).
+	for {
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			panic("core: Checkpoint on closed manager")
+		}
+		for m.inProgress {
+			m.ckptDone.Wait()
+		}
+		m.mu.Unlock()
+		m.space.LockWrites()
+		m.mu.Lock()
+		if !m.inProgress {
+			break
+		}
+		// A concurrent Checkpoint rotated first; retry.
+		m.mu.Unlock()
+		m.space.UnlockWrites()
+	}
+	blocked := m.env.Now() - start
+	m.rotateLocked(start, blocked)
+	m.space.UnlockWrites()
+	if m.cfg.Strategy == Sync {
+		m.syncCommitLocked()
+		m.mu.Unlock()
+		return
+	}
+	m.inProgress = true
+	switch m.cfg.Strategy {
+	case Adaptive:
+		m.sel = newAdaptiveSelector(m.lastDirty, m.lastAT, m.lastIndex)
+	case NoPattern:
+		m.sel = &ascendingSelector{}
+	}
+	m.committerKick.Signal()
+	m.mu.Unlock()
+}
+
+// rotateLocked swaps the epoch data structures (Algorithm 1 lines 5-17) and
+// finalizes the closing epoch's statistics.
+func (m *Manager) rotateLocked(start, blocked time.Duration) {
+	m.ensureLocked(m.space.NumPages())
+	if m.epoch > m.cfg.FirstEpoch {
+		m.history = append(m.history, m.cur)
+	}
+	m.epoch++
+	// Swap current/previous epoch structures; the new current starts clean.
+	m.dirty, m.lastDirty = m.lastDirty, m.dirty
+	m.dirty.Reset()
+	m.at, m.lastAT = m.lastAT, m.at
+	m.index, m.lastIndex = m.lastIndex, m.index
+	m.accessOrder = 0
+	m.waitedQueue = m.waitedQueue[:0]
+	m.liveCowQueue = m.liveCowQueue[:0]
+	// Re-protect every live page and reset its access record.
+	m.space.ForEachLivePage(func(p int) {
+		m.space.Protect(p)
+		m.at[p] = Untouched
+		m.index[p] = 0
+	})
+	// Schedule the dirty pages of the closing epoch; drop freed pages.
+	committed := 0
+	for p := m.lastDirty.NextSet(0); p >= 0; p = m.lastDirty.NextSet(p + 1) {
+		if !m.space.Live(p) {
+			m.lastDirty.Clear(p)
+			continue
+		}
+		m.state[p] = Scheduled
+		committed++
+	}
+	m.cur = EpochStats{
+		Epoch:               m.epoch,
+		PagesCommitted:      committed,
+		BytesCommitted:      int64(committed) * int64(m.space.PageSize()),
+		BlockedInCheckpoint: blocked,
+		Start:               start,
+	}
+}
+
+// syncCommitLocked flushes the scheduled set inline in ascending page order
+// with the application blocked — the sync baseline of §4.2.
+func (m *Manager) syncCommitLocked() {
+	epoch := m.epoch
+	pageSize := m.space.PageSize()
+	for p := m.lastDirty.NextSet(0); p >= 0; p = m.lastDirty.NextSet(p + 1) {
+		data := m.space.PageData(p)
+		m.mu.Unlock()
+		err := m.store.WritePage(epoch, p, data, pageSize)
+		m.mu.Lock()
+		m.noteErrLocked(err)
+		m.state[p] = Processed
+		m.lastDirty.Clear(p)
+	}
+	m.mu.Unlock()
+	err := m.store.EndEpoch(epoch)
+	m.mu.Lock()
+	m.noteErrLocked(err)
+	d := m.env.Now() - m.cur.Start
+	m.cur.Duration = d
+	m.cur.BlockedInCheckpoint += d
+}
+
+// committer is the ASYNC_COMMIT module (Algorithm 3): it drains the
+// scheduled set, committing the COW copy when one exists and otherwise
+// locking the page, writing it and notifying any waiting writer.
+func (m *Manager) committer() {
+	m.mu.Lock()
+	for {
+		for !m.inProgress && !m.closed {
+			m.committerKick.Wait()
+		}
+		if !m.inProgress {
+			break
+		}
+		epoch := m.epoch
+		pageSize := m.space.PageSize()
+		for {
+			p := m.sel.next(m, m.lastDirty)
+			if p < 0 {
+				break
+			}
+			if m.at[p] == Cow {
+				data := m.cow[p]
+				m.mu.Unlock()
+				err := m.store.WritePage(epoch, p, data, pageSize)
+				m.mu.Lock()
+				m.noteErrLocked(err)
+				delete(m.cow, p)
+				m.cowUsed--
+				m.state[p] = Processed
+				m.lastDirty.Clear(p)
+				// A slot was released: writers blocked for lack of slots
+				// could proceed... but per Algorithm 2 they wait for their
+				// page; waking them re-checks the predicate harmlessly.
+				m.pageDone.Broadcast()
+			} else {
+				m.state[p] = InProgress
+				data := m.space.PageData(p)
+				m.mu.Unlock()
+				err := m.store.WritePage(epoch, p, data, pageSize)
+				m.mu.Lock()
+				m.noteErrLocked(err)
+				m.state[p] = Processed
+				m.lastDirty.Clear(p)
+				m.pageDone.Broadcast()
+			}
+		}
+		if m.cowUsed != 0 || len(m.cow) != 0 {
+			panic(fmt.Sprintf("core: %d COW slots leaked at end of epoch %d", m.cowUsed, epoch))
+		}
+		m.mu.Unlock()
+		err := m.store.EndEpoch(epoch)
+		m.mu.Lock()
+		m.noteErrLocked(err)
+		m.inProgress = false
+		m.cur.Duration = m.env.Now() - m.cur.Start
+		m.ckptDone.Broadcast()
+	}
+	m.exited = true
+	m.exitDone.Broadcast()
+	m.mu.Unlock()
+}
+
+// handleFault is the PROTECTED_PAGE_HANDLER module (Algorithm 2), invoked
+// by the pagemem substrate on the first write to a protected page.
+func (m *Manager) handleFault(page int) {
+	cost := m.cfg.FaultCost
+	m.mu.Lock()
+	m.ensureLocked(page + 1)
+	if !m.space.IsProtected(page) {
+		// Another thread handled this page between the fault and the lock.
+		m.mu.Unlock()
+		return
+	}
+	switch {
+	case m.state[page] == Scheduled && m.cowUsed < m.cfg.CowSlots:
+		// Take a copy-on-write slot: the committer will flush the copy,
+		// the application writes the original immediately.
+		var cp []byte
+		if data := m.space.PageData(page); data != nil {
+			cp = make([]byte, len(data))
+			copy(cp, data)
+		}
+		m.cow[page] = cp
+		m.cowUsed++
+		m.at[page] = Cow
+		m.cur.Cows++
+		m.liveCowQueue = append(m.liveCowQueue, page)
+		cost += m.cfg.CowCopyCost
+	case m.state[page] == Processed:
+		if m.inProgress {
+			m.at[page] = Avoided
+			m.cur.Avoided++
+		} else {
+			m.at[page] = After
+			m.cur.After++
+		}
+	default:
+		// Page in flight, or scheduled with no free COW slot: wait until
+		// the committer processes it, hinting it via the waited queue so
+		// the adaptive selector maximizes its priority.
+		m.waitedQueue = append(m.waitedQueue, page)
+		waitStart := m.env.Now()
+		for m.state[page] != Processed {
+			m.pageDone.Wait()
+		}
+		for i, q := range m.waitedQueue {
+			if q == page {
+				m.waitedQueue = append(m.waitedQueue[:i], m.waitedQueue[i+1:]...)
+				break
+			}
+		}
+		m.at[page] = Wait
+		m.cur.Waits++
+		m.cur.WaitTime += m.env.Now() - waitStart
+	}
+	m.dirty.Set(page)
+	m.accessOrder++
+	m.index[page] = m.accessOrder
+	m.space.Unprotect(page)
+	m.mu.Unlock()
+	if cost > 0 {
+		m.env.Sleep(cost)
+	}
+}
+
+func (m *Manager) noteErrLocked(err error) {
+	if err != nil && m.firstErr == nil {
+		m.firstErr = err
+	}
+}
+
+// WaitIdle blocks until no checkpoint is in progress.
+func (m *Manager) WaitIdle() {
+	m.mu.Lock()
+	for m.inProgress {
+		m.ckptDone.Wait()
+	}
+	m.mu.Unlock()
+}
+
+// Free releases a protected region through the manager: it waits for any
+// in-flight checkpoint (whose committer may still need the region's pages),
+// drops the pages from the dirty set and frees the region.
+func (m *Manager) Free(r *pagemem.Region) {
+	m.mu.Lock()
+	for m.inProgress {
+		m.ckptDone.Wait()
+	}
+	first, count := r.Pages()
+	for p := first; p < first+count && p < m.npages; p++ {
+		m.dirty.Clear(p)
+	}
+	m.mu.Unlock()
+	r.Free()
+}
+
+// Close drains the in-flight checkpoint, stops the committer and detaches
+// the fault handler. The manager must not be used afterwards.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		m.committerKick.Broadcast()
+	}
+	for !m.exited {
+		m.exitDone.Wait()
+	}
+	m.mu.Unlock()
+	m.space.SetFaultHandler(nil)
+}
+
+// Stats returns per-checkpoint statistics: all finalized epochs plus the
+// current one (whose access counters may still grow if the application
+// keeps writing).
+func (m *Manager) Stats() []EpochStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]EpochStats, 0, len(m.history)+1)
+	out = append(out, m.history...)
+	if m.epoch > m.cfg.FirstEpoch {
+		out = append(out, m.cur)
+	}
+	return out
+}

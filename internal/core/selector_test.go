@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/util"
+)
+
+func drain(t *testing.T, s selector, m *Manager, remaining *util.Bitset) []int {
+	t.Helper()
+	var out []int
+	for {
+		p := s.next(m, remaining)
+		if p < 0 {
+			return out
+		}
+		if !remaining.Test(p) {
+			t.Fatalf("selector returned page %d not in remaining set", p)
+		}
+		remaining.Clear(p)
+		out = append(out, p)
+	}
+}
+
+func TestAscendingSelectorOrder(t *testing.T) {
+	m := &Manager{}
+	remaining := util.NewBitset(16)
+	for _, p := range []int{3, 1, 9, 14} {
+		remaining.Set(p)
+	}
+	got := drain(t, &ascendingSelector{}, m, remaining)
+	if fmt.Sprint(got) != fmt.Sprint([]int{1, 3, 9, 14}) {
+		t.Errorf("order = %v", got)
+	}
+}
+
+func TestAdaptiveSelectorClassOrder(t *testing.T) {
+	const n = 10
+	lastAT := make([]AccessType, n)
+	lastIndex := make([]int32, n)
+	// History: page 4 WAIT (idx 3), page 7 WAIT (idx 1), page 2 COW (idx 2),
+	// page 0 AVOIDED (idx 5), page 1 AFTER (idx 6), page 3 untracked.
+	lastAT[4], lastIndex[4] = Wait, 3
+	lastAT[7], lastIndex[7] = Wait, 1
+	lastAT[2], lastIndex[2] = Cow, 2
+	lastAT[0], lastIndex[0] = Avoided, 5
+	lastAT[1], lastIndex[1] = After, 6
+	dirty := util.NewBitset(n)
+	for _, p := range []int{0, 1, 2, 3, 4, 7} {
+		dirty.Set(p)
+	}
+	sel := newAdaptiveSelector(dirty, lastAT, lastIndex)
+	m := &Manager{}
+	got := drain(t, sel, m, dirty.Clone())
+	// WAIT by index: 7, 4; COW: 2; AVOIDED: 0; rest by (index, page): 3
+	// (idx 0), 1 (idx 6).
+	want := []int{7, 4, 2, 0, 3, 1}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("order = %v, want %v", got, want)
+	}
+}
+
+func TestAdaptiveSelectorWaitedAndLiveCowPriority(t *testing.T) {
+	const n = 8
+	lastAT := make([]AccessType, n)
+	lastIndex := make([]int32, n)
+	dirty := util.NewBitset(n)
+	for p := 0; p < n; p++ {
+		dirty.Set(p)
+	}
+	sel := newAdaptiveSelector(dirty, lastAT, lastIndex)
+	m := &Manager{
+		waitedQueue:  []int{5},
+		liveCowQueue: []int{6, 2},
+	}
+	remaining := dirty.Clone()
+	got := drain(t, sel, m, remaining)
+	// waited 5 first; live COW 6 then 2; then rest ascending.
+	want := []int{5, 6, 2, 0, 1, 3, 4, 7}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("order = %v, want %v", got, want)
+	}
+}
+
+func TestAdaptiveSelectorSkipsAlreadyCommitted(t *testing.T) {
+	const n = 4
+	lastAT := make([]AccessType, n)
+	lastIndex := make([]int32, n)
+	dirty := util.NewBitset(n)
+	for p := 0; p < n; p++ {
+		dirty.Set(p)
+	}
+	sel := newAdaptiveSelector(dirty, lastAT, lastIndex)
+	m := &Manager{liveCowQueue: []int{1}}
+	remaining := dirty.Clone()
+	remaining.Clear(1) // already committed through another path
+	got := drain(t, sel, m, remaining)
+	if fmt.Sprint(got) != fmt.Sprint([]int{0, 2, 3}) {
+		t.Errorf("order = %v", got)
+	}
+	if len(m.liveCowQueue) != 0 {
+		t.Errorf("stale live-COW entry not consumed: %v", m.liveCowQueue)
+	}
+}
+
+// Property: for any history, the adaptive selector emits every dirty page
+// exactly once, WAIT-class pages before COW-class before AVOIDED-class
+// before the rest, and within a class by ascending LastIndex.
+func TestAdaptiveSelectorQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := util.NewRNG(seed)
+		n := rng.Intn(64) + 1
+		lastAT := make([]AccessType, n)
+		lastIndex := make([]int32, n)
+		dirty := util.NewBitset(n)
+		for p := 0; p < n; p++ {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			dirty.Set(p)
+			lastAT[p] = AccessType(rng.Intn(5))
+			lastIndex[p] = int32(rng.Intn(100))
+		}
+		sel := newAdaptiveSelector(dirty, lastAT, lastIndex)
+		m := &Manager{}
+		remaining := dirty.Clone()
+		var out []int
+		for {
+			p := sel.next(m, remaining)
+			if p < 0 {
+				break
+			}
+			if !remaining.Test(p) {
+				return false
+			}
+			remaining.Clear(p)
+			out = append(out, p)
+		}
+		if len(out) != dirty.Count() || remaining.Count() != 0 {
+			return false
+		}
+		// Class monotonicity and intra-class index order.
+		prevClass, prevIndex := -1, int32(-1)
+		for _, p := range out {
+			c := classOf(lastAT[p])
+			if c < prevClass {
+				return false
+			}
+			if c > prevClass {
+				prevClass, prevIndex = c, -1
+			}
+			if lastIndex[p] < prevIndex {
+				return false
+			}
+			prevIndex = lastIndex[p]
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

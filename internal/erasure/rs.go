@@ -1,0 +1,153 @@
+package erasure
+
+import "fmt"
+
+// Coder is a systematic Reed-Solomon encoder/decoder with k data shards and
+// m parity shards. Any k of the k+m shards reconstruct the original data.
+type Coder struct {
+	k, m   int
+	matrix [][]byte // (k+m)×k encoding matrix; top k rows are identity
+}
+
+// New returns a Coder for k data and m parity shards. It panics unless
+// 1 <= k, 0 <= m and k+m <= 256.
+func New(k, m int) *Coder {
+	if k < 1 || m < 0 || k+m > 256 {
+		panic(fmt.Sprintf("erasure: invalid parameters k=%d m=%d", k, m))
+	}
+	c := &Coder{k: k, m: m}
+	c.matrix = buildMatrix(k, m)
+	return c
+}
+
+// buildMatrix constructs a (k+m)×k matrix whose every k-row subset is
+// invertible: identity on top, followed by a Cauchy matrix
+// parity[i][j] = 1/(x_i + y_j) with disjoint {x_i}, {y_j}.
+func buildMatrix(k, m int) [][]byte {
+	rows := make([][]byte, k+m)
+	for i := 0; i < k; i++ {
+		rows[i] = make([]byte, k)
+		rows[i][i] = 1
+	}
+	for i := 0; i < m; i++ {
+		rows[k+i] = make([]byte, k)
+		for j := 0; j < k; j++ {
+			x := byte(k + i) // x_i = k..k+m-1
+			y := byte(j)     // y_j = 0..k-1, disjoint from x
+			rows[k+i][j] = gfInv(x ^ y)
+		}
+	}
+	return rows
+}
+
+// K returns the number of data shards.
+func (c *Coder) K() int { return c.k }
+
+// M returns the number of parity shards.
+func (c *Coder) M() int { return c.m }
+
+// Encode splits data into k equal shards (zero-padding the tail) and returns
+// k+m shards. The original length must be tracked by the caller (the
+// checkpoint manifest stores it).
+func (c *Coder) Encode(data []byte) [][]byte {
+	shardLen := (len(data) + c.k - 1) / c.k
+	if shardLen == 0 {
+		shardLen = 1
+	}
+	shards := make([][]byte, c.k+c.m)
+	for i := 0; i < c.k; i++ {
+		shards[i] = make([]byte, shardLen)
+		lo := i * shardLen
+		if lo < len(data) {
+			hi := lo + shardLen
+			if hi > len(data) {
+				hi = len(data)
+			}
+			copy(shards[i], data[lo:hi])
+		}
+	}
+	for i := 0; i < c.m; i++ {
+		p := make([]byte, shardLen)
+		row := c.matrix[c.k+i]
+		for j := 0; j < c.k; j++ {
+			mulAddSlice(p, shards[j], row[j])
+		}
+		shards[c.k+i] = p
+	}
+	return shards
+}
+
+// Decode reconstructs the original data (of length size) from shards, where
+// shards[i] == nil marks shard i as lost. It fails if fewer than k shards
+// survive.
+func (c *Coder) Decode(shards [][]byte, size int) ([]byte, error) {
+	if len(shards) != c.k+c.m {
+		return nil, fmt.Errorf("erasure: got %d shards, want %d", len(shards), c.k+c.m)
+	}
+	present := 0
+	shardLen := 0
+	for _, s := range shards {
+		if s != nil {
+			present++
+			if shardLen == 0 {
+				shardLen = len(s)
+			} else if len(s) != shardLen {
+				return nil, fmt.Errorf("erasure: inconsistent shard sizes")
+			}
+		}
+	}
+	if present < c.k {
+		return nil, fmt.Errorf("erasure: only %d shards survive, need %d", present, c.k)
+	}
+	if size > c.k*shardLen {
+		return nil, fmt.Errorf("erasure: size %d exceeds capacity %d", size, c.k*shardLen)
+	}
+
+	// Fast path: all data shards present.
+	dataIntact := true
+	for i := 0; i < c.k; i++ {
+		if shards[i] == nil {
+			dataIntact = false
+			break
+		}
+	}
+	data := make([]byte, 0, c.k*shardLen)
+	if dataIntact {
+		for i := 0; i < c.k; i++ {
+			data = append(data, shards[i]...)
+		}
+		return data[:size], nil
+	}
+
+	// Build the decode matrix from the first k surviving shards.
+	sub := make([][]byte, 0, c.k)
+	rows := make([][]byte, 0, c.k)
+	for i := 0; i < c.k+c.m && len(sub) < c.k; i++ {
+		if shards[i] != nil {
+			sub = append(sub, shards[i])
+			row := make([]byte, c.k)
+			copy(row, c.matrix[i])
+			rows = append(rows, row)
+		}
+	}
+	if !invertMatrix(rows) {
+		return nil, fmt.Errorf("erasure: decode matrix is singular")
+	}
+	// Reconstruct each data shard i as rows[i] · sub.
+	rebuilt := make([][]byte, c.k)
+	for i := 0; i < c.k; i++ {
+		if shards[i] != nil {
+			rebuilt[i] = shards[i]
+			continue
+		}
+		out := make([]byte, shardLen)
+		for j := 0; j < c.k; j++ {
+			mulAddSlice(out, sub[j], rows[i][j])
+		}
+		rebuilt[i] = out
+	}
+	for i := 0; i < c.k; i++ {
+		data = append(data, rebuilt[i]...)
+	}
+	return data[:size], nil
+}

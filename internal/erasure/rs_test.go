@@ -1,0 +1,170 @@
+package erasure
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/util"
+)
+
+func TestGFTablesConsistent(t *testing.T) {
+	// 2 must be primitive: the first 255 powers enumerate every nonzero
+	// element exactly once, and log is the inverse of exp.
+	seen := make(map[byte]bool)
+	for i := 0; i < 255; i++ {
+		v := gfExp[i]
+		if v == 0 || seen[v] {
+			t.Fatalf("exp table not a permutation at %d (v=%d)", i, v)
+		}
+		seen[v] = true
+		if gfLog[v] != i {
+			t.Fatalf("log(exp(%d)) = %d", i, gfLog[v])
+		}
+	}
+}
+
+func TestGFFieldAxioms(t *testing.T) {
+	// Inverses exhaustively; distributivity and commutativity on a sample.
+	for a := 1; a < 256; a++ {
+		if got := gfMul(byte(a), gfInv(byte(a))); got != 1 {
+			t.Fatalf("a*inv(a) = %d for a=%d", got, a)
+		}
+	}
+	r := util.NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		a := byte(r.Intn(255) + 1)
+		b := byte(r.Intn(256))
+		c := byte(r.Intn(256))
+		if gfMul(a, b^c) != gfMul(a, b)^gfMul(a, c) {
+			t.Fatalf("distributivity failed for %d,%d,%d", a, b, c)
+		}
+		if gfMul(a, b) != gfMul(b, a) {
+			t.Fatalf("commutativity failed for %d,%d", a, b)
+		}
+	}
+	if gfMul(0, 7) != 0 || gfMul(7, 0) != 0 {
+		t.Error("multiplication by zero")
+	}
+}
+
+func TestInvertMatrixIdentity(t *testing.T) {
+	m := [][]byte{{1, 0}, {0, 1}}
+	if !invertMatrix(m) {
+		t.Fatal("identity reported singular")
+	}
+	if m[0][0] != 1 || m[0][1] != 0 || m[1][0] != 0 || m[1][1] != 1 {
+		t.Errorf("inverse of identity = %v", m)
+	}
+	singular := [][]byte{{1, 1}, {1, 1}}
+	if invertMatrix(singular) {
+		t.Error("singular matrix reported invertible")
+	}
+}
+
+func TestEncodeDecodeNoLoss(t *testing.T) {
+	c := New(4, 2)
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	shards := c.Encode(data)
+	if len(shards) != 6 {
+		t.Fatalf("got %d shards", len(shards))
+	}
+	got, err := c.Decode(shards, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("round trip mismatch")
+	}
+}
+
+func TestDecodeWithErasures(t *testing.T) {
+	c := New(5, 3)
+	r := util.NewRNG(42)
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(r.Uint64())
+	}
+	// Try every pattern of up to 3 erasures among 8 shards.
+	for a := 0; a < 8; a++ {
+		for b := a + 1; b < 8; b++ {
+			for d := b + 1; d < 8; d++ {
+				shards := c.Encode(data)
+				shards[a], shards[b], shards[d] = nil, nil, nil
+				got, err := c.Decode(shards, len(data))
+				if err != nil {
+					t.Fatalf("erasures (%d,%d,%d): %v", a, b, d, err)
+				}
+				if !bytes.Equal(got, data) {
+					t.Fatalf("erasures (%d,%d,%d): data mismatch", a, b, d)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeTooManyErasures(t *testing.T) {
+	c := New(3, 2)
+	shards := c.Encode([]byte("hello world"))
+	shards[0], shards[1], shards[2] = nil, nil, nil
+	if _, err := c.Decode(shards, 11); err == nil {
+		t.Fatal("expected failure with k-1 shards")
+	}
+}
+
+func TestEncodeEmptyAndTiny(t *testing.T) {
+	c := New(4, 2)
+	for _, data := range [][]byte{{}, {7}, {1, 2, 3}} {
+		shards := c.Encode(data)
+		got, err := c.Decode(shards, len(data))
+		if err != nil {
+			t.Fatalf("len=%d: %v", len(data), err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("len=%d: mismatch", len(data))
+		}
+	}
+}
+
+func TestNewRejectsBadParams(t *testing.T) {
+	for _, p := range [][2]int{{0, 1}, {-1, 2}, {2, -1}, {200, 100}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", p[0], p[1])
+				}
+			}()
+			New(p[0], p[1])
+		}()
+	}
+}
+
+// Property: for random data and a random erasure pattern with at most m
+// losses, decoding recovers the data exactly.
+func TestRSQuickRecovery(t *testing.T) {
+	f := func(seed uint64, raw []byte) bool {
+		if len(raw) == 0 {
+			raw = []byte{0}
+		}
+		r := util.NewRNG(seed)
+		k := r.Intn(6) + 1
+		m := r.Intn(4)
+		c := New(k, m)
+		shards := c.Encode(raw)
+		losses := 0
+		if m > 0 {
+			losses = r.Intn(m + 1)
+		}
+		for _, idx := range r.Perm(k + m)[:losses] {
+			shards[idx] = nil
+		}
+		got, err := c.Decode(shards, len(raw))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (§4): the synthetic-benchmark family (Figure 2a/2b/2c), CM1 weak
+// scalability and COW sweep (Figures 3a/3b/4a) and MILC weak scalability
+// and COW sweep (Figures 5/4b). Each experiment runs the same page-manager
+// code as the real-time library, inside the deterministic virtual-time
+// kernel, against storage and network models calibrated to the paper's
+// testbeds.
+//
+// Experiments accept a memory-division factor ("scale"): Scale=1 is the
+// paper's sizes (slow: tens of millions of simulated events), larger
+// factors shrink every memory quantity proportionally — including the COW
+// buffer — preserving the ratios that drive the checkpointing dynamics.
+// EXPERIMENTS.md records the shape comparison against the paper.
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// Scale presets.
+const (
+	// ScalePaper runs the paper's exact memory sizes.
+	ScalePaper = 1
+	// ScaleBench is the default for benchmarks and the experiments tool.
+	ScaleBench = 16
+	// ScaleTiny keeps unit tests fast.
+	ScaleTiny = 256
+)
+
+// PageSize is fixed at the operating-system page size used throughout the
+// paper's evaluation.
+const PageSize = 4096
+
+// Strategies lists the three approaches compared throughout §4.
+var Strategies = []core.Strategy{core.Adaptive, core.NoPattern, core.Sync}
+
+// Run captures one simulated execution of a workload under one strategy.
+type Run struct {
+	Strategy core.Strategy
+	// Runtime is the application makespan (all processes finished and
+	// the final checkpoint drained).
+	Runtime time.Duration
+	// Baseline is the makespan with checkpointing disabled.
+	Baseline time.Duration
+	// AvgCkptTime is the paper's checkpointing-time metric: mean over
+	// processes of the mean checkpoint duration, skipping the first
+	// (full) checkpoint as in §4.4.1.
+	AvgCkptTime time.Duration
+	// Access-type counts, averaged per checkpoint across processes.
+	AvgWaits   float64
+	AvgCows    float64
+	AvgAvoided float64
+	AvgAfter   float64
+}
+
+// Overhead is the increase in execution time versus baseline.
+func (r Run) Overhead() time.Duration { return r.Runtime - r.Baseline }
+
+// ReductionVsSync computes a COW-sweep datapoint of Figure 4: the
+// percentage reduction in checkpointing overhead of an asynchronous run
+// versus the sync run of the same configuration.
+func ReductionVsSync(async, sync Run) float64 {
+	syncOv := sync.Overhead().Seconds()
+	if syncOv <= 0 {
+		return 0
+	}
+	return (1 - async.Overhead().Seconds()/syncOv) * 100
+}
+
+// averageStats folds per-epoch manager statistics into a Run, skipping the
+// first (full) checkpoint for the checkpointing-time metric.
+func averageStats(runs []Run, all [][]core.EpochStats) (avgCkpt time.Duration, w, c, a, f float64) {
+	var ckptSum time.Duration
+	var ckptN int
+	var wSum, cSum, aSum, fSum, n float64
+	for _, stats := range all {
+		for i, ep := range stats {
+			if i > 0 { // skip the full checkpoint, as the paper does
+				ckptSum += ep.Duration
+				ckptN++
+			}
+			wSum += float64(ep.Waits)
+			cSum += float64(ep.Cows)
+			aSum += float64(ep.Avoided)
+			fSum += float64(ep.After)
+			n++
+		}
+	}
+	_ = runs
+	if ckptN > 0 {
+		avgCkpt = ckptSum / time.Duration(ckptN)
+	}
+	if n > 0 {
+		w, c, a, f = wSum/n, cSum/n, aSum/n, fSum/n
+	}
+	return avgCkpt, w, c, a, f
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// The experiment tests run at tiny scale and assert the orderings the paper
+// reports, not absolute values.
+
+func find2(rows []Fig2Row, p workload.Pattern, s core.Strategy) Fig2Row {
+	for _, r := range rows {
+		if r.Pattern == p && r.Strategy == s {
+			return r
+		}
+	}
+	panic("row not found")
+}
+
+func TestFig2Orderings(t *testing.T) {
+	rows := Fig2(16)
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, p := range []workload.Pattern{workload.Ascending, workload.Random, workload.Descending} {
+		ours := find2(rows, p, core.Adaptive)
+		np := find2(rows, p, core.NoPattern)
+		sync := find2(rows, p, core.Sync)
+		// Sync is the worst for every pattern.
+		if !(sync.OverheadSec > ours.OverheadSec && sync.OverheadSec > np.OverheadSec) {
+			t.Errorf("%v: sync (%.3f) not worst (ours %.3f, np %.3f)",
+				p, sync.OverheadSec, ours.OverheadSec, np.OverheadSec)
+		}
+		if ours.OverheadSec > np.OverheadSec*1.05 {
+			t.Errorf("%v: ours (%.3f) worse than no-pattern (%.3f)", p, ours.OverheadSec, np.OverheadSec)
+		}
+	}
+	// Pattern adaptation pays off for Random and Descending.
+	for _, p := range []workload.Pattern{workload.Random, workload.Descending} {
+		ours := find2(rows, p, core.Adaptive)
+		np := find2(rows, p, core.NoPattern)
+		if ours.OverheadSec >= np.OverheadSec {
+			t.Errorf("%v: ours (%.3f) should beat no-pattern (%.3f)", p, ours.OverheadSec, np.OverheadSec)
+		}
+		if ours.Waits >= np.Waits {
+			t.Errorf("%v: ours waits (%.0f) should be below no-pattern (%.0f)", p, ours.Waits, np.Waits)
+		}
+		if ours.Avoided <= np.Avoided {
+			t.Errorf("%v: ours avoided (%.0f) should exceed no-pattern (%.0f)", p, ours.Avoided, np.Avoided)
+		}
+	}
+	// Sync's overhead must be pattern-independent.
+	sa := find2(rows, workload.Ascending, core.Sync).OverheadSec
+	sd := find2(rows, workload.Descending, core.Sync).OverheadSec
+	if diff := sa - sd; diff > 0.05*sa || diff < -0.05*sa {
+		t.Errorf("sync overhead pattern-dependent: %.3f vs %.3f", sa, sd)
+	}
+}
+
+func TestFig2Deterministic(t *testing.T) {
+	a := Fig2(ScaleTiny)
+	b := Fig2(ScaleTiny)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs between identical runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFig3Orderings(t *testing.T) {
+	rows := Fig3(128, []int{1, 4})
+	byProc := map[int]map[core.Strategy]Fig3Row{}
+	for _, r := range rows {
+		if byProc[r.Procs] == nil {
+			byProc[r.Procs] = map[core.Strategy]Fig3Row{}
+		}
+		byProc[r.Procs][r.Strategy] = r
+	}
+	for procs, m := range byProc {
+		if m[core.Sync].OverheadSec <= m[core.Adaptive].OverheadSec {
+			t.Errorf("procs=%d: sync (%.2f) should exceed ours (%.2f)",
+				procs, m[core.Sync].OverheadSec, m[core.Adaptive].OverheadSec)
+		}
+		if m[core.NoPattern].OverheadSec < m[core.Adaptive].OverheadSec*0.95 {
+			t.Errorf("procs=%d: no-pattern (%.2f) should not beat ours (%.2f)",
+				procs, m[core.NoPattern].OverheadSec, m[core.Adaptive].OverheadSec)
+		}
+	}
+}
+
+func TestFig5AndFig4bOrderings(t *testing.T) {
+	rows := Fig5(1024, []int{10})
+	var ours, np, sync Fig5Row
+	for _, r := range rows {
+		switch r.Strategy {
+		case core.Adaptive:
+			ours = r
+		case core.NoPattern:
+			np = r
+		case core.Sync:
+			sync = r
+		}
+	}
+	if !(ours.OverheadSec <= np.OverheadSec && np.OverheadSec < sync.OverheadSec) {
+		t.Errorf("fig5 ordering violated: ours %.2f, np %.2f, sync %.2f",
+			ours.OverheadSec, np.OverheadSec, sync.OverheadSec)
+	}
+	rows4 := Fig4b(1024, 10, []int{0, 256})
+	// The reduction must grow (or at least not shrink) with the buffer.
+	var oursSmall, oursBig float64
+	for _, r := range rows4 {
+		if r.Strategy == core.Adaptive && r.CowBufferMB == 0 {
+			oursSmall = r.ReductionPct
+		}
+		if r.Strategy == core.Adaptive && r.CowBufferMB == 256 {
+			oursBig = r.ReductionPct
+		}
+	}
+	if oursBig < oursSmall-5 {
+		t.Errorf("fig4b: reduction shrank with bigger COW buffer: %.1f -> %.1f", oursSmall, oursBig)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	var sb strings.Builder
+	RenderFig2(&sb, []Fig2Row{{Pattern: workload.Random, Strategy: core.Adaptive, OverheadSec: 1.5}})
+	RenderFig3(&sb, []Fig3Row{{Procs: 4, Strategy: core.Sync, AvgCkptTimeSec: 2}})
+	RenderFig4(&sb, "Figure 4(a)", []Fig4Row{{CowBufferMB: 16, Strategy: core.NoPattern, ReductionPct: 40}})
+	RenderFig5(&sb, []Fig5Row{{Procs: 10, Strategy: core.Adaptive, OverheadSec: 3}})
+	out := sb.String()
+	for _, want := range []string{"Random", "our-approach", "sync", "async-no-pattern", "Figure 4(a)", "Figure 5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q", want)
+		}
+	}
+}
+
+func TestReductionVsSync(t *testing.T) {
+	sync := Run{Runtime: 20e9, Baseline: 10e9} // overhead 10s
+	async := Run{Runtime: 14e9, Baseline: 10e9}
+	if got := ReductionVsSync(async, sync); got != 60 {
+		t.Errorf("reduction = %v, want 60", got)
+	}
+	if got := ReductionVsSync(async, Run{Runtime: 10e9, Baseline: 10e9}); got != 0 {
+		t.Errorf("degenerate sync overhead: got %v", got)
+	}
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRealEnvBasics(t *testing.T) {
+	e := NewRealEnv()
+	start := e.Now()
+	e.Sleep(2 * time.Millisecond)
+	if e.Now()-start < time.Millisecond {
+		t.Error("RealEnv.Sleep returned too early")
+	}
+	e.Sleep(-1) // must not block or panic
+
+	var ran atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	e.Go("worker", func() {
+		ran.Store(true)
+		wg.Done()
+	})
+	wg.Wait()
+	if !ran.Load() {
+		t.Error("Go did not run the function")
+	}
+}
+
+func TestRealEnvCond(t *testing.T) {
+	e := NewRealEnv()
+	mu := e.NewMutex()
+	cond := e.NewCond(mu)
+	released := false
+	done := make(chan struct{})
+	e.Go("waiter", func() {
+		mu.Lock()
+		for !released {
+			cond.Wait()
+		}
+		mu.Unlock()
+		close(done)
+	})
+	time.Sleep(time.Millisecond)
+	mu.Lock()
+	released = true
+	cond.Broadcast()
+	mu.Unlock()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("cond wait never released")
+	}
+}
+
+// The WaitGroup must behave identically under both environments.
+func TestWaitGroupVirtual(t *testing.T) {
+	k := NewKernel()
+	wg := NewWaitGroup(k)
+	const n = 8
+	sum := 0
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		k.Go("worker", func() {
+			k.Sleep(time.Duration(i) * time.Millisecond)
+			sum += i
+			wg.Done()
+		})
+	}
+	joined := false
+	k.Go("joiner", func() {
+		wg.Wait()
+		joined = true
+		if k.Now() != 7*time.Millisecond {
+			t.Errorf("join at %v, want 7ms", k.Now())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !joined || sum != 28 {
+		t.Errorf("joined=%v sum=%d", joined, sum)
+	}
+}
+
+func TestWaitGroupReal(t *testing.T) {
+	e := NewRealEnv()
+	wg := NewWaitGroup(e)
+	var count atomic.Int32
+	const n = 16
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		e.Go("w", func() {
+			count.Add(1)
+			wg.Done()
+		})
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitGroup.Wait never returned")
+	}
+	if count.Load() != n {
+		t.Errorf("count = %d", count.Load())
+	}
+}
+
+func TestWaitGroupNegativePanics(t *testing.T) {
+	k := NewKernel()
+	k.Go("p", func() {
+		wg := NewWaitGroup(k)
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on negative counter")
+			}
+		}()
+		wg.Done()
+	})
+	_ = k.Run()
+}

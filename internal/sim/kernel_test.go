@@ -1,0 +1,294 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKernelSingleProcessAdvancesTime(t *testing.T) {
+	k := NewKernel()
+	var at []time.Duration
+	k.Go("p", func() {
+		at = append(at, k.Now())
+		k.Sleep(5 * time.Millisecond)
+		at = append(at, k.Now())
+		k.Sleep(0)
+		at = append(at, k.Now())
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{0, 5 * time.Millisecond, 5 * time.Millisecond}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Errorf("timestamp %d = %v, want %v", i, at[i], want[i])
+		}
+	}
+}
+
+func TestKernelInterleavingIsDeterministic(t *testing.T) {
+	run := func() string {
+		k := NewKernel()
+		var sb strings.Builder
+		for i := 0; i < 4; i++ {
+			i := i
+			k.Go(fmt.Sprintf("p%d", i), func() {
+				for j := 0; j < 3; j++ {
+					fmt.Fprintf(&sb, "p%d@%v ", i, k.Now())
+					k.Sleep(time.Duration(i+1) * time.Millisecond)
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d differs:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+}
+
+func TestKernelSameTimeFIFO(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Go(fmt.Sprintf("p%d", i), func() {
+			order = append(order, i)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("dispatch order %v, want ascending", order)
+		}
+	}
+}
+
+func TestKernelMutexExclusionAndFIFO(t *testing.T) {
+	k := NewKernel()
+	mu := k.NewMutex()
+	inside := 0
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		k.Go(name, func() {
+			mu.Lock()
+			inside++
+			if inside != 1 {
+				t.Errorf("mutual exclusion violated")
+			}
+			order = append(order, name)
+			k.Sleep(time.Millisecond)
+			inside--
+			mu.Unlock()
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, ""); got != "abc" {
+		t.Errorf("lock order = %q, want abc (FIFO)", got)
+	}
+}
+
+func TestKernelCondSignalWakesInOrder(t *testing.T) {
+	k := NewKernel()
+	mu := k.NewMutex()
+	cond := k.NewCond(mu)
+	ready := 0
+	var woke []string
+	for _, name := range []string{"w1", "w2"} {
+		name := name
+		k.Go(name, func() {
+			mu.Lock()
+			for ready == 0 {
+				cond.Wait()
+			}
+			ready--
+			woke = append(woke, name)
+			mu.Unlock()
+		})
+	}
+	k.Go("signaler", func() {
+		k.Sleep(time.Millisecond)
+		mu.Lock()
+		ready++
+		cond.Signal()
+		mu.Unlock()
+		k.Sleep(time.Millisecond)
+		mu.Lock()
+		ready++
+		cond.Signal()
+		mu.Unlock()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(woke, "") != "w1w2" {
+		t.Errorf("wake order = %v", woke)
+	}
+}
+
+func TestKernelBroadcast(t *testing.T) {
+	k := NewKernel()
+	mu := k.NewMutex()
+	cond := k.NewCond(mu)
+	released := false
+	done := 0
+	for i := 0; i < 5; i++ {
+		k.Go(fmt.Sprintf("w%d", i), func() {
+			mu.Lock()
+			for !released {
+				cond.Wait()
+			}
+			done++
+			mu.Unlock()
+		})
+	}
+	k.Go("b", func() {
+		k.Sleep(time.Millisecond)
+		mu.Lock()
+		released = true
+		cond.Broadcast()
+		mu.Unlock()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 5 {
+		t.Errorf("done = %d, want 5", done)
+	}
+}
+
+func TestKernelDeadlockDetection(t *testing.T) {
+	k := NewKernel()
+	mu := k.NewMutex()
+	cond := k.NewCond(mu)
+	k.Go("stuck", func() {
+		mu.Lock()
+		cond.Wait() // no one will ever signal
+		mu.Unlock()
+	})
+	err := k.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(dl.Blocked) != 1 || dl.Blocked[0] != "stuck" {
+		t.Errorf("blocked = %v", dl.Blocked)
+	}
+}
+
+func TestKernelPanicPropagation(t *testing.T) {
+	k := NewKernel()
+	k.Go("bad", func() { panic("boom") })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected Run to re-panic")
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, "bad") || !strings.Contains(msg, "boom") {
+			t.Errorf("panic message %q lacks context", msg)
+		}
+	}()
+	_ = k.Run()
+}
+
+func TestKernelNestedSpawn(t *testing.T) {
+	k := NewKernel()
+	var got []string
+	k.Go("parent", func() {
+		k.Sleep(time.Millisecond)
+		k.Go("child", func() {
+			got = append(got, fmt.Sprintf("child@%v", k.Now()))
+		})
+		k.Sleep(time.Millisecond)
+		got = append(got, fmt.Sprintf("parent@%v", k.Now()))
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"child@1ms", "parent@2ms"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestKernelEventBudget(t *testing.T) {
+	k := NewKernel()
+	k.SetMaxEvents(10)
+	k.Go("spin", func() {
+		for {
+			k.Sleep(time.Millisecond)
+		}
+	})
+	if err := k.Run(); err == nil {
+		t.Fatal("expected event-budget error")
+	}
+}
+
+func TestKernelSleepOutsideProcessPanics(t *testing.T) {
+	k := NewKernel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	k.Sleep(time.Second)
+}
+
+// Property: for arbitrary sleep schedules, processes observe non-decreasing
+// time, and total virtual elapsed equals the max of each process's sum.
+func TestKernelTimeMonotonicQuick(t *testing.T) {
+	f := func(delays [][]uint8) bool {
+		if len(delays) > 6 {
+			delays = delays[:6]
+		}
+		k := NewKernel()
+		ok := true
+		var maxSum time.Duration
+		for i, ds := range delays {
+			ds := ds
+			if len(ds) > 20 {
+				ds = ds[:20]
+			}
+			var sum time.Duration
+			for _, d := range ds {
+				sum += time.Duration(d) * time.Microsecond
+			}
+			if sum > maxSum {
+				maxSum = sum
+			}
+			k.Go(fmt.Sprintf("p%d", i), func() {
+				prev := k.Now()
+				for _, d := range ds {
+					k.Sleep(time.Duration(d) * time.Microsecond)
+					now := k.Now()
+					if now < prev {
+						ok = false
+					}
+					prev = now
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		return ok && k.Now() == maxSum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

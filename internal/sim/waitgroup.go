@@ -1,0 +1,43 @@
+package sim
+
+import "sync"
+
+// WaitGroup is a counting join primitive built purely on Env primitives, so
+// the same code works in real and virtual time.
+type WaitGroup struct {
+	mu   sync.Locker
+	cond Cond
+	n    int
+}
+
+// NewWaitGroup returns an empty wait group bound to env.
+func NewWaitGroup(env Env) *WaitGroup {
+	mu := env.NewMutex()
+	return &WaitGroup{mu: mu, cond: env.NewCond(mu)}
+}
+
+// Add adds delta (which may be negative) to the counter. It panics if the
+// counter goes negative.
+func (w *WaitGroup) Add(delta int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.n += delta
+	if w.n < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if w.n == 0 {
+		w.cond.Broadcast()
+	}
+}
+
+// Done decrements the counter by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait blocks the calling process until the counter reaches zero.
+func (w *WaitGroup) Wait() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.n > 0 {
+		w.cond.Wait()
+	}
+}

@@ -1,0 +1,100 @@
+// Package storage defines where checkpointed pages go. The page manager's
+// committer writes through the Backend interface, which has persistent
+// implementations (see internal/ckpt for the on-disk repository) and
+// virtual-time implementations modeling the paper's testbeds: a local SATA
+// disk (SimDisk) and a PVFS-like parallel file system striped over storage
+// servers (SimPFS). Decorators add replication, erasure coding and
+// compression on top of any Backend.
+package storage
+
+import "sync"
+
+// Backend persists page images produced by checkpointing.
+//
+// Implementations must be safe for use by a single committer process at a
+// time per epoch; the decorators in this package additionally tolerate
+// concurrent writers.
+type Backend interface {
+	// WritePage persists one page image for the given epoch. size is the
+	// logical page size in bytes; data holds the image and may be nil in
+	// phantom simulations where only timing is modeled (in that case
+	// implementations must still account for size bytes).
+	WritePage(epoch uint64, page int, data []byte, size int) error
+	// EndEpoch seals an epoch after its last page has been written.
+	EndEpoch(epoch uint64) error
+}
+
+// NullStore discards everything instantly. It isolates the page-manager
+// algorithm from I/O in microbenchmarks.
+type NullStore struct{}
+
+// WritePage implements Backend.
+func (NullStore) WritePage(epoch uint64, page int, data []byte, size int) error { return nil }
+
+// EndEpoch implements Backend.
+func (NullStore) EndEpoch(epoch uint64) error { return nil }
+
+// Commit records one page write observed by a TracingStore.
+type Commit struct {
+	Epoch uint64
+	Page  int
+	Size  int
+}
+
+// TracingStore records the exact order of page commits; tests use it to
+// assert flush-order policies. It optionally forwards to a next Backend.
+type TracingStore struct {
+	Next Backend
+
+	mu      sync.Mutex
+	commits []Commit
+	sealed  []uint64
+}
+
+// WritePage implements Backend.
+func (t *TracingStore) WritePage(epoch uint64, page int, data []byte, size int) error {
+	t.mu.Lock()
+	t.commits = append(t.commits, Commit{Epoch: epoch, Page: page, Size: size})
+	t.mu.Unlock()
+	if t.Next != nil {
+		return t.Next.WritePage(epoch, page, data, size)
+	}
+	return nil
+}
+
+// EndEpoch implements Backend.
+func (t *TracingStore) EndEpoch(epoch uint64) error {
+	t.mu.Lock()
+	t.sealed = append(t.sealed, epoch)
+	t.mu.Unlock()
+	if t.Next != nil {
+		return t.Next.EndEpoch(epoch)
+	}
+	return nil
+}
+
+// Commits returns a copy of the observed commit sequence.
+func (t *TracingStore) Commits() []Commit {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Commit, len(t.commits))
+	copy(out, t.commits)
+	return out
+}
+
+// Sealed returns the epochs sealed so far, in order.
+func (t *TracingStore) Sealed() []uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]uint64, len(t.sealed))
+	copy(out, t.sealed)
+	return out
+}
+
+// Reset clears recorded history.
+func (t *TracingStore) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.commits = nil
+	t.sealed = nil
+}

@@ -1,0 +1,116 @@
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/erasure"
+)
+
+// CompressingStore compresses page images before forwarding them. When the
+// underlying backend only models timing (phantom data), the store forwards
+// the original size, since no bytes exist to compress.
+type CompressingStore struct {
+	Codec compress.Codec
+	Next  Backend
+}
+
+// WritePage implements Backend.
+func (c *CompressingStore) WritePage(epoch uint64, page int, data []byte, size int) error {
+	if data == nil {
+		return c.Next.WritePage(epoch, page, nil, size)
+	}
+	blob := compress.Encode(c.Codec, data)
+	return c.Next.WritePage(epoch, page, blob, len(blob))
+}
+
+// EndEpoch implements Backend.
+func (c *CompressingStore) EndEpoch(epoch uint64) error { return c.Next.EndEpoch(epoch) }
+
+// ReplicatedStore writes every page to all replicas, the straightforward
+// remedy the paper mentions for unreliable node-local storage.
+type ReplicatedStore struct {
+	Replicas []Backend
+}
+
+// WritePage implements Backend.
+func (r *ReplicatedStore) WritePage(epoch uint64, page int, data []byte, size int) error {
+	for i, b := range r.Replicas {
+		if err := b.WritePage(epoch, page, data, size); err != nil {
+			return fmt.Errorf("storage: replica %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// EndEpoch implements Backend.
+func (r *ReplicatedStore) EndEpoch(epoch uint64) error {
+	for i, b := range r.Replicas {
+		if err := b.EndEpoch(epoch); err != nil {
+			return fmt.Errorf("storage: replica %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ErasureStore splits each page into k data + m parity shards
+// (Reed-Solomon) and spreads them over k+m backends, the cost-effective
+// alternative to replication from the paper's §3.2 (ref [18]). Any k
+// surviving backends can reconstruct every page.
+type ErasureStore struct {
+	coder    *erasure.Coder
+	backends []Backend
+	pageSize int
+}
+
+// NewErasureStore builds an erasure-coded store over len(backends) = k+m
+// targets.
+func NewErasureStore(k, m, pageSize int, backends []Backend) (*ErasureStore, error) {
+	if len(backends) != k+m {
+		return nil, fmt.Errorf("storage: erasure store needs %d backends, got %d", k+m, len(backends))
+	}
+	return &ErasureStore{coder: erasure.New(k, m), backends: backends, pageSize: pageSize}, nil
+}
+
+// WritePage implements Backend.
+func (e *ErasureStore) WritePage(epoch uint64, page int, data []byte, size int) error {
+	if data == nil {
+		// Timing-only mode: each backend receives its shard-sized slice
+		// of the write.
+		shardSize := (size + e.coder.K() - 1) / e.coder.K()
+		for i, b := range e.backends {
+			if err := b.WritePage(epoch, page, nil, shardSize); err != nil {
+				return fmt.Errorf("storage: shard %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+	shards := e.coder.Encode(data)
+	for i, b := range e.backends {
+		if err := b.WritePage(epoch, page, shards[i], len(shards[i])); err != nil {
+			return fmt.Errorf("storage: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// EndEpoch implements Backend.
+func (e *ErasureStore) EndEpoch(epoch uint64) error {
+	for i, b := range e.backends {
+		if err := b.EndEpoch(epoch); err != nil {
+			return fmt.Errorf("storage: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Reconstruct reads one page's shards back from PageReader backends
+// (shardAt(i) returning nil marks backend i as failed) and decodes the
+// original image of length pageSize.
+func (e *ErasureStore) Reconstruct(shardAt func(i int) []byte) ([]byte, error) {
+	shards := make([][]byte, len(e.backends))
+	for i := range shards {
+		shards[i] = shardAt(i)
+	}
+	return e.coder.Decode(shards, e.pageSize)
+}

@@ -1,0 +1,107 @@
+package util
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Welford accumulates a running mean and variance without storing samples.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples recorded.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the sample mean (0 if empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Min returns the smallest sample (0 if empty).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest sample (0 if empty).
+func (w *Welford) Max() float64 { return w.max }
+
+// Stddev returns the sample standard deviation (0 for fewer than 2 samples).
+func (w *Welford) Stddev() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n-1))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation. It does not modify xs.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// MeanDuration returns the arithmetic mean of ds (0 if empty).
+func MeanDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}
+
+// FormatBytes renders a byte count with a binary-prefix unit (KiB-style
+// multiples but printed in the paper's MB/GB convention).
+func FormatBytes(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%d B", n)
+	}
+	div, exp := int64(unit), 0
+	for m := n / unit; m >= unit; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %cB", float64(n)/float64(div), "KMGTPE"[exp])
+}

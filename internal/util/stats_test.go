@@ -1,0 +1,89 @@
+package util
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != len(xs) {
+		t.Fatalf("N = %d", w.N())
+	}
+	if got := w.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", got)
+	}
+	// Sample stddev of this classic dataset is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if got := w.Stddev(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("stddev = %v, want %v", got, want)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("min/max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Stddev() != 0 {
+		t.Error("empty accumulator should be zero-valued")
+	}
+	w.Add(3)
+	if w.Mean() != 3 || w.Stddev() != 0 || w.Min() != 3 || w.Max() != 3 {
+		t.Error("single-sample accumulator wrong")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20}, {75, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+	// Must not reorder the input.
+	if xs[0] != 15 || xs[4] != 50 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestMeanDuration(t *testing.T) {
+	ds := []time.Duration{time.Second, 3 * time.Second}
+	if got := MeanDuration(ds); got != 2*time.Second {
+		t.Errorf("mean = %v", got)
+	}
+	if got := MeanDuration(nil); got != 0 {
+		t.Errorf("empty mean = %v", got)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{512, "512 B"},
+		{2048, "2.0 KB"},
+		{16 * 1024 * 1024, "16.0 MB"},
+		{3 * 1024 * 1024 * 1024, "3.0 GB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.n); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}

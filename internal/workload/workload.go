@@ -1,0 +1,176 @@
+// Package workload models the applications of the paper's evaluation: the
+// memory-intensive synthetic benchmark of §4.3, a CM1-like atmospheric
+// stencil (§4.4) and a MILC-like lattice-QCD code (§4.5). The models
+// preserve what matters to checkpointing — which pages are touched, in what
+// order, how often, at what compute rate, and how much communication
+// competes with checkpoint traffic — while the numerical content itself is
+// irrelevant and elided (regions are phantom at simulation scale).
+package workload
+
+import (
+	"time"
+
+	"repro/internal/pagemem"
+	"repro/internal/sim"
+	"repro/internal/util"
+)
+
+// toucher walks pages of a region, charging per-page compute cost in
+// batches so virtual time advances between groups of writes without paying
+// one kernel event per page. Costs are indexed by traversal position (not
+// page address): slow stretches are a property of where the sweep is in
+// time, which is what lets the flusher overtake the application regardless
+// of the visit order.
+type toucher struct {
+	env   sim.Env
+	costs []time.Duration // by traversal position, cycled
+	pos   int
+	batch int
+	acc   time.Duration
+	cnt   int
+}
+
+// newToucher precomputes per-page costs: pageCost +- jitter (uniform in
+// [1-jitter, 1+jitter]), plus slow stretches — runs of spikeRun consecutive
+// pages costing 4x, covering a spikeP fraction of the region — which model
+// the cache/TLB-unfriendly phases real sweeps exhibit. During a slow
+// stretch the flusher overtakes the application, which is where AVOIDED
+// accesses come from. Costs are deterministic in the seed.
+func newToucher(env sim.Env, pages int, pageCost time.Duration, jitter, spikeP float64, spikeRun, batch int, seed uint64) *toucher {
+	if batch <= 0 {
+		batch = 32
+	}
+	if spikeRun <= 0 {
+		spikeRun = 64
+	}
+	rng := util.NewRNG(seed)
+	costs := make([]time.Duration, pages)
+	for i := range costs {
+		f := 1.0
+		if jitter > 0 {
+			f += jitter * (2*rng.Float64() - 1)
+		}
+		costs[i] = time.Duration(float64(pageCost) * f)
+	}
+	if spikeP > 0 {
+		runs := int(spikeP * float64(pages) / float64(spikeRun))
+		if runs < 1 {
+			runs = 1
+		}
+		for r := 0; r < runs; r++ {
+			start := rng.Intn(pages)
+			for i := start; i < start+spikeRun && i < pages; i++ {
+				costs[i] *= 4
+			}
+		}
+	}
+	return &toucher{env: env, costs: costs, batch: batch}
+}
+
+func (t *toucher) touch(r *pagemem.Region, page int) {
+	r.Touch(page)
+	t.acc += t.costs[t.pos]
+	t.pos++
+	if t.pos == len(t.costs) {
+		t.pos = 0
+	}
+	t.cnt++
+	if t.cnt >= t.batch {
+		t.flush()
+	}
+}
+
+func (t *toucher) flush() {
+	if t.acc > 0 {
+		t.env.Sleep(t.acc)
+	}
+	t.acc, t.cnt = 0, 0
+}
+
+// Pattern is the synthetic benchmark's page access order.
+type Pattern int
+
+const (
+	// Ascending touches pages first to last.
+	Ascending Pattern = iota
+	// Random uses one fixed random permutation for all iterations.
+	Random
+	// Descending touches pages last to first.
+	Descending
+)
+
+// String implements fmt.Stringer.
+func (p Pattern) String() string {
+	switch p {
+	case Ascending:
+		return "Ascending"
+	case Random:
+		return "Random"
+	case Descending:
+		return "Descending"
+	default:
+		return "unknown"
+	}
+}
+
+// Synthetic is the §4.3 memory-intensive benchmark: a region of Pages
+// pages, each iteration touching the full region byte-by-byte in the
+// configured order, with a checkpoint every CheckpointEvery iterations.
+type Synthetic struct {
+	// Pages is the region size in pages (65536 at paper scale: 256 MB of
+	// 4 KB pages).
+	Pages int
+	// Iterations is the total iteration count (39 in the paper).
+	Iterations int
+	// CheckpointEvery triggers a checkpoint after every N-th iteration
+	// (10 in the paper, for 3 checkpoints).
+	CheckpointEvery int
+	// Pattern is the access order.
+	Pattern Pattern
+	// PageCost is the mean compute time to transform one page.
+	PageCost time.Duration
+	// CostJitter is the relative spread of per-page cost (0.3 = +-30%).
+	CostJitter float64
+	// SpikeP is the probability a page costs 4x (slow stretches).
+	SpikeP float64
+	// SpikeRun is the length in pages of each slow stretch (default 64).
+	SpikeRun int
+	// TouchBatch groups page touches per simulated time advance.
+	TouchBatch int
+	// Seed drives the permutation and the cost jitter.
+	Seed uint64
+}
+
+// Order returns the per-iteration page visit order.
+func (s Synthetic) Order() []int {
+	order := make([]int, s.Pages)
+	switch s.Pattern {
+	case Ascending:
+		for i := range order {
+			order[i] = i
+		}
+	case Descending:
+		for i := range order {
+			order[i] = s.Pages - 1 - i
+		}
+	case Random:
+		copy(order, util.NewRNG(s.Seed^0x5eed).Perm(s.Pages))
+	}
+	return order
+}
+
+// Run executes the benchmark inside an env process. checkpoint is called at
+// checkpoint boundaries and may be nil (baseline run without checkpointing).
+func (s Synthetic) Run(env sim.Env, r *pagemem.Region, checkpoint func()) {
+	order := s.Order()
+	t := newToucher(env, s.Pages, s.PageCost, s.CostJitter, s.SpikeP, s.SpikeRun, s.TouchBatch, s.Seed)
+	for it := 1; it <= s.Iterations; it++ {
+		for _, p := range order {
+			t.touch(r, p)
+		}
+		t.flush()
+		if checkpoint != nil && s.CheckpointEvery > 0 && it%s.CheckpointEvery == 0 {
+			checkpoint()
+		}
+	}
+}

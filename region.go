@@ -1,0 +1,34 @@
+package aickpt
+
+import "repro/internal/pagemem"
+
+// Region is a protected, checkpointed memory allocation. All mutation goes
+// through its methods: the first write to each page after a checkpoint is
+// trapped by the runtime exactly like a store to an mprotect'ed page (see
+// DESIGN.md for why Go requires the software trap).
+type Region struct {
+	rt    *Runtime
+	inner *pagemem.Region
+}
+
+// Size returns the allocation size in bytes.
+func (r *Region) Size() int { return r.inner.Size() }
+
+// Pages returns the global page range [first, first+count) backing the
+// region; page IDs name pages in checkpoint images.
+func (r *Region) Pages() (first, count int) { return r.inner.Pages() }
+
+// Write copies src into the region at byte offset off.
+func (r *Region) Write(off int, src []byte) { r.inner.Write(off, src) }
+
+// StoreByte writes one byte at off.
+func (r *Region) StoreByte(off int, b byte) { r.inner.StoreByte(off, b) }
+
+// Read copies region bytes [off, off+len(dst)) into dst.
+func (r *Region) Read(off int, dst []byte) { r.inner.Read(off, dst) }
+
+// Bytes returns the region's live backing store. Mutating the returned
+// slice bypasses write tracking — use it only for read-mostly access and
+// restore; the checkpoint then cannot see those mutations until the pages
+// are written through Write again.
+func (r *Region) Bytes() []byte { return r.inner.Bytes() }

@@ -1,0 +1,104 @@
+package aickpt
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ckpt"
+)
+
+// Image is a restored memory image: for every page ever checkpointed, the
+// newest content from the last sealed epoch backwards. Pages absent from
+// the image were never written before the restart point and hold zeros.
+type Image struct {
+	// PageSize is the page granularity the repository was written with.
+	PageSize int
+	// Epoch is the newest sealed checkpoint folded into the image.
+	Epoch uint64
+	inner *ckpt.Image
+}
+
+// Page returns the restored content of a global page ID (zeros if the page
+// was never checkpointed).
+func (im *Image) Page(id int) []byte { return im.inner.PageOr(id) }
+
+// PageIDs returns the sorted IDs of all pages present in the image.
+func (im *Image) PageIDs() []int {
+	ids := make([]int, 0, len(im.inner.Pages))
+	for id := range im.inner.Pages {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Restore reads the checkpoint repository in dir and folds all sealed
+// epochs into a memory image. Epochs interrupted by a crash before sealing
+// are ignored: the restart point is the last completed checkpoint.
+func Restore(dir string) (*Image, error) {
+	fs, err := ckpt.NewOSFS(dir)
+	if err != nil {
+		return nil, err
+	}
+	im, err := ckpt.Restore(fs)
+	if err != nil {
+		return nil, err
+	}
+	return &Image{PageSize: im.PageSize, Epoch: im.Epoch, inner: im}, nil
+}
+
+// LoadImage copies restored content into a region allocated by this
+// runtime. The application must re-create its protected regions in the same
+// order and with the same sizes as the crashed run (so page IDs line up),
+// then load each. Loaded pages are clean: they re-enter checkpoints only
+// when written again, which is correct because their content is already in
+// the repository this runtime continues.
+func (rt *Runtime) LoadImage(im *Image, r *Region) error {
+	if im.PageSize != rt.opts.PageSize {
+		return fmt.Errorf("aickpt: image page size %d != runtime page size %d", im.PageSize, rt.opts.PageSize)
+	}
+	buf := r.inner.Bytes()
+	if buf == nil {
+		return fmt.Errorf("aickpt: cannot load into phantom region")
+	}
+	first, count := r.inner.Pages()
+	for i := 0; i < count; i++ {
+		copy(buf[i*im.PageSize:(i+1)*im.PageSize], im.Page(first+i))
+	}
+	return nil
+}
+
+// Inspect verifies all sealed epochs in a repository directory and returns
+// a health report per epoch; it backs the ckpt-inspect tool.
+func Inspect(dir string) ([]EpochReport, error) {
+	fs, err := ckpt.NewOSFS(dir)
+	if err != nil {
+		return nil, err
+	}
+	infos, err := ckpt.Inspect(fs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]EpochReport, len(infos))
+	for i, in := range infos {
+		out[i] = EpochReport{
+			Epoch:      in.Epoch,
+			PageSize:   in.PageSize,
+			PageCount:  in.PageCount,
+			TotalBytes: in.TotalBytes,
+			Healthy:    in.SegmentOK,
+			Problem:    in.Err,
+		}
+	}
+	return out, nil
+}
+
+// EpochReport is the health summary of one sealed epoch.
+type EpochReport struct {
+	Epoch      uint64
+	PageSize   int
+	PageCount  int
+	TotalBytes int64
+	Healthy    bool
+	Problem    string
+}

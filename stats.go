@@ -1,0 +1,65 @@
+package aickpt
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteStatsCSV renders per-checkpoint statistics as CSV, one row per
+// checkpoint, for offline analysis of checkpointing behavior (the columns
+// mirror the metrics of the paper's evaluation: dirty-set size, access-type
+// classification, blocked time and checkpointing time).
+func WriteStatsCSV(w io.Writer, stats []EpochStats) error {
+	if _, err := fmt.Fprintln(w,
+		"epoch,pages,bytes,waits,cows,avoided,after,wait_us,blocked_us,duration_us"); err != nil {
+		return err
+	}
+	for _, s := range stats {
+		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			s.Epoch, s.PagesCommitted, s.BytesCommitted,
+			s.Waits, s.Cows, s.Avoided, s.After,
+			s.WaitTime.Microseconds(), s.BlockedInCheckpoint.Microseconds(),
+			s.Duration.Microseconds())
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary condenses a run's checkpointing behavior: totals across epochs
+// plus the aggregate classification mix. It answers "how much did
+// checkpointing cost this run" in one value.
+type Summary struct {
+	Checkpoints    int
+	PagesCommitted int
+	BytesCommitted int64
+	Waits          int
+	Cows           int
+	Avoided        int
+	After          int
+	// AppBlocked is the total time the application spent blocked on
+	// checkpointing: inside Checkpoint calls plus inside page waits.
+	AppBlocked  time.Duration
+	LongestCkpt time.Duration
+}
+
+// Summarize folds per-epoch statistics into a Summary.
+func Summarize(stats []EpochStats) Summary {
+	var s Summary
+	for _, ep := range stats {
+		s.Checkpoints++
+		s.PagesCommitted += ep.PagesCommitted
+		s.BytesCommitted += ep.BytesCommitted
+		s.Waits += ep.Waits
+		s.Cows += ep.Cows
+		s.Avoided += ep.Avoided
+		s.After += ep.After
+		s.AppBlocked += ep.BlockedInCheckpoint + ep.WaitTime
+		if ep.Duration > s.LongestCkpt {
+			s.LongestCkpt = ep.Duration
+		}
+	}
+	return s
+}
