@@ -97,11 +97,20 @@ type Options struct {
 	DisableCow bool
 	// Strategy selects the checkpointing approach (default Adaptive).
 	Strategy Strategy
-	// Dir is the checkpoint repository directory. Exactly one of Dir and
-	// Store must be set.
+	// Dir is the checkpoint repository directory. Exactly one of Dir,
+	// Store and Tiers must be set.
 	Dir string
 	// Store overrides the repository with a custom backend.
 	Store Store
+	// Tiers builds a multi-level checkpoint hierarchy (fastest tier
+	// first): checkpoints are acknowledged once sealed on the first
+	// (local) tier and drained asynchronously to the rest. The resulting
+	// hierarchy is reachable through Runtime.Hierarchy for tier-aware
+	// restore and inspection.
+	Tiers []TierSpec
+	// Drain bounds the hierarchy's background promotion pipeline (only
+	// meaningful with Tiers); the zero value selects defaults.
+	Drain DrainPolicy
 	// Compression selects page compression for the durable repository
 	// (only meaningful with Dir): CompressionNone, CompressionZero
 	// (zero-page elimination) or CompressionFlate (DEFLATE). Restore
@@ -130,6 +139,7 @@ type Runtime struct {
 	manager *core.Manager
 	repo    *ckpt.Repository // nil when a custom Store is used
 	fs      ckpt.FS          // nil when a custom Store is used
+	hier    *Hierarchy       // non-nil when Options.Tiers built a hierarchy
 	closed  bool
 }
 
@@ -149,13 +159,33 @@ func New(opts Options) (*Runtime, error) {
 	if opts.CowBuffer < 0 {
 		return nil, fmt.Errorf("aickpt: negative CowBuffer")
 	}
-	if (opts.Dir == "") == (opts.Store == nil) {
-		return nil, errors.New("aickpt: exactly one of Options.Dir and Options.Store must be set")
+	set := 0
+	for _, on := range []bool{opts.Dir != "", opts.Store != nil, len(opts.Tiers) > 0} {
+		if on {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, errors.New("aickpt: exactly one of Options.Dir, Options.Store and Options.Tiers must be set")
 	}
 	rt := &Runtime{opts: opts, space: pagemem.NewSpace(opts.PageSize)}
 	var backend Store
 	var firstEpoch uint64
-	if opts.Store != nil {
+	if len(opts.Tiers) > 0 {
+		h, err := NewHierarchy(opts.PageSize, opts.Tiers, opts.Drain)
+		if err != nil {
+			return nil, err
+		}
+		rt.hier = h
+		backend = h
+		// As with Dir, a restarted process extends the chain already on
+		// the (durable, directory-backed) local tier. The hierarchy has
+		// re-queued those epochs for draining, so lower tiers regain a
+		// copy of the whole chain.
+		if last, ok := h.inner.LastEpoch(); ok {
+			firstEpoch = last
+		}
+	} else if opts.Store != nil {
 		backend = opts.Store
 	} else {
 		fs, err := ckpt.NewOSFS(opts.Dir)
@@ -237,15 +267,31 @@ func (rt *Runtime) WaitIdle() { rt.manager.WaitIdle() }
 // Err returns the first storage error encountered by the committer.
 func (rt *Runtime) Err() error { return rt.manager.Err() }
 
-// Close drains in-flight work, stops the committer and releases the
-// runtime. It returns the first storage error, if any.
+// Hierarchy returns the multi-level checkpoint hierarchy built from
+// Options.Tiers, or nil when the runtime uses a flat backend. Use it for
+// tier-aware restore, drain synchronization, tier manifests and failure
+// injection.
+func (rt *Runtime) Hierarchy() *Hierarchy { return rt.hier }
+
+// Close drains in-flight work (including background tier draining when a
+// hierarchy is configured), stops the committer and releases the runtime.
+// It returns the first storage error, if any.
 func (rt *Runtime) Close() error {
 	if rt.closed {
 		return rt.manager.Err()
 	}
 	rt.closed = true
 	rt.manager.Close()
-	return rt.manager.Err()
+	if err := rt.manager.Err(); err != nil {
+		if rt.hier != nil {
+			rt.hier.Close()
+		}
+		return err
+	}
+	if rt.hier != nil {
+		return rt.hier.Close()
+	}
+	return nil
 }
 
 // Stats returns per-checkpoint statistics (one entry per Checkpoint call).

@@ -1,8 +1,17 @@
-// Command aickpt-bench runs the paper's §4.3 memory-intensive benchmark: a
-// region touched fully per iteration in a configurable order, checkpointed
-// periodically, under one of the three checkpointing approaches, on a
-// simulated Grid'5000 node. It prints the execution-time overhead and the
-// access-type statistics of Figures 2(a)-(c).
+// Command aickpt-bench runs checkpointing benchmarks in the virtual-time
+// simulator.
+//
+// The default scenario ("synthetic") is the paper's §4.3 memory-intensive
+// benchmark: a region touched fully per iteration in a configurable order,
+// checkpointed periodically, under one of the three checkpointing
+// approaches, on a simulated Grid'5000 node. It prints the execution-time
+// overhead and the access-type statistics of Figures 2(a)-(c).
+//
+// The "tiers" scenario compares 1-, 2- and 3-tier multi-level checkpoint
+// hierarchies (local disk, erasure-coded peers, parallel file system)
+// under injected failures: the local tier is wiped and peer nodes are
+// killed after the run, then a tier-aware restore rebuilds the memory
+// image from whatever survives.
 package main
 
 import (
@@ -16,13 +25,36 @@ import (
 )
 
 func main() {
+	scenario := flag.String("scenario", "synthetic", "scenario: synthetic (Fig 2 benchmark), tiers (multi-level hierarchy under failures)")
 	patternFlag := flag.String("pattern", "ascending", "access pattern: ascending, random, descending")
 	strategyFlag := flag.String("strategy", "adaptive", "approach: adaptive, no-pattern, sync")
 	scale := flag.Int("scale", experiments.ScaleBench, "memory division factor (1 = 256 MB region)")
 	cowMB := flag.Int("cow", 16, "COW buffer size in MB before scaling")
 	iterations := flag.Int("iterations", 39, "total iterations")
 	every := flag.Int("every", 10, "checkpoint every N iterations")
+	peerFailures := flag.Int("peer-failures", 1, "tiers scenario: peer nodes killed before restore")
 	flag.Parse()
+
+	if *scenario == "tiers" {
+		// The -iterations/-every defaults are tuned for the synthetic
+		// scenario; when the user did not set them explicitly, use a
+		// tiers-sized default instead.
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		it, ev := *iterations, *every
+		if !explicit["iterations"] {
+			it = 6
+		}
+		if !explicit["every"] {
+			ev = 2
+		}
+		tiersScenario(it, ev, *peerFailures)
+		return
+	}
+	if *scenario != "synthetic" {
+		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
 
 	var pattern workload.Pattern
 	switch *patternFlag {

@@ -1,6 +1,9 @@
 // Command ckpt-inspect examines an AI-Ckpt checkpoint repository: it lists
 // every sealed epoch, verifies record integrity (per-page FNV-64a hashes)
-// and reports the restart point.
+// and reports the restart point. When the repository is the local tier of
+// a multi-level hierarchy, it also prints each epoch's tier manifest:
+// which tiers hold the epoch, in what state, and the erasure shard layout
+// on the peer tier.
 //
 // Usage:
 //
@@ -10,6 +13,7 @@ package main
 import (
 	"fmt"
 	"os"
+	"strings"
 
 	aickpt "repro"
 )
@@ -39,6 +43,27 @@ func main() {
 		}
 		fmt.Printf("%-8d %-10d %-8d %-12d %-8s %s\n",
 			r.Epoch, r.PageSize, r.PageCount, r.TotalBytes, status, r.Problem)
+	}
+	if tiers, err := aickpt.InspectTiers(dir); err != nil {
+		fmt.Fprintf(os.Stderr, "ckpt-inspect: tier manifests unreadable: %v\n", err)
+		healthy = false
+	} else if len(tiers) > 0 {
+		fmt.Printf("\ntier manifests:\n")
+		fmt.Printf("%-8s %-10s %-8s %-10s %s\n", "epoch", "tier", "level", "state", "shards")
+		for _, m := range tiers {
+			for _, tc := range m.Tiers {
+				layout := "-"
+				if tc.Shards != nil {
+					layout = fmt.Sprintf("rs(k=%d,m=%d) start=%d on %s",
+						tc.Shards.Data, tc.Shards.Parity, tc.Shards.Start, strings.Join(tc.Shards.Nodes, ","))
+				}
+				state := tc.State
+				if tc.Err != "" {
+					state += " (" + tc.Err + ")"
+				}
+				fmt.Printf("%-8d %-10s %-8d %-10s %s\n", m.Epoch, tc.Tier, tc.Level, state, layout)
+			}
+		}
 	}
 	if im, err := aickpt.Restore(dir); err == nil {
 		fmt.Printf("\nrestart point: epoch %d (%d distinct pages, %d B page size)\n",

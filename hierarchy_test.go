@@ -1,0 +1,171 @@
+package aickpt_test
+
+import (
+	"bytes"
+	"testing"
+
+	aickpt "repro"
+)
+
+// TestTieredRuntimeRestoreSurvivesLocalLoss runs a runtime over a 3-tier
+// hierarchy, then wipes the local tier and fails a peer node: restore must
+// still produce the exact memory image from the surviving erasure shards.
+func TestTieredRuntimeRestoreSurvivesLocalLoss(t *testing.T) {
+	rt, err := aickpt.New(aickpt.Options{
+		PageSize: 512,
+		Tiers: []aickpt.TierSpec{
+			{Kind: aickpt.TierLocal},
+			{Kind: aickpt.TierPeer, Nodes: 5, DataShards: 3, ParityShards: 2},
+			{Kind: aickpt.TierPFS},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rt.Hierarchy()
+	if h == nil {
+		t.Fatal("runtime built from Tiers has no hierarchy")
+	}
+
+	const size = 16 * 512
+	region := rt.MallocProtected(size)
+	buf := make([]byte, size)
+	for iter := 0; iter < 3; iter++ {
+		for i := range buf {
+			buf[i] = byte(i + iter*13)
+		}
+		region.Write(0, buf)
+		rt.Checkpoint()
+	}
+	rt.WaitIdle()
+	h.WaitDrained()
+	want := append([]byte(nil), region.Bytes()...)
+
+	mans := h.Manifests()
+	if len(mans) != 3 {
+		t.Fatalf("got %d epoch manifests, want 3", len(mans))
+	}
+	for _, m := range mans {
+		for _, tc := range m.Tiers {
+			if tc.State != "stored" {
+				t.Errorf("epoch %d tier %s state %q", m.Epoch, tc.Tier, tc.State)
+			}
+		}
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := h.WipeLocal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.FailPeerNode(1); err != nil {
+		t.Fatal(err)
+	}
+	im, steps, err := h.Restore()
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	for _, s := range steps {
+		if s.Tier != "peer" {
+			t.Errorf("epoch %d restored from %q, want peer", s.Epoch, s.Tier)
+		}
+	}
+	rt2, err := aickpt.New(aickpt.Options{PageSize: 512, Tiers: []aickpt.TierSpec{{Kind: aickpt.TierLocal}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt2.Close()
+	region2 := rt2.MallocProtected(size)
+	if err := rt2.LoadImage(im, region2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(region2.Bytes(), want) {
+		t.Error("restored region differs from the crashed run's memory")
+	}
+}
+
+// TestTieredRuntimeResumesEpochChain restarts a Dir-backed tiered runtime
+// and checks the new process extends the sealed chain instead of
+// truncating epoch 1 over the old run's files.
+func TestTieredRuntimeResumesEpochChain(t *testing.T) {
+	dir := t.TempDir()
+	tiers := []aickpt.TierSpec{{Kind: aickpt.TierLocal, Dir: dir}}
+	const size = 8 * 512
+
+	run := func(fill byte) {
+		rt, err := aickpt.New(aickpt.Options{PageSize: 512, Tiers: tiers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		region := rt.MallocProtected(size)
+		region.Write(0, bytes.Repeat([]byte{fill}, size))
+		rt.Checkpoint()
+		rt.WaitIdle()
+		if err := rt.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(1)
+	run(2)
+
+	im, err := aickpt.Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Epoch != 2 {
+		t.Errorf("restart point epoch %d, want 2 (chain extended across restart)", im.Epoch)
+	}
+	if got := im.Page(0)[0]; got != 2 {
+		t.Errorf("restored content %d, want the second run's 2", got)
+	}
+}
+
+func TestOptionsRejectAmbiguousBackends(t *testing.T) {
+	_, err := aickpt.New(aickpt.Options{Dir: t.TempDir(), Tiers: []aickpt.TierSpec{{Kind: aickpt.TierLocal}}})
+	if err == nil {
+		t.Error("Dir+Tiers should be rejected")
+	}
+	_, err = aickpt.New(aickpt.Options{})
+	if err == nil {
+		t.Error("no backend should be rejected")
+	}
+}
+
+func TestTierManifestMirrorIsInspectable(t *testing.T) {
+	dir := t.TempDir()
+	rt, err := aickpt.New(aickpt.Options{
+		PageSize: 512,
+		Tiers: []aickpt.TierSpec{
+			{Kind: aickpt.TierLocal, Dir: dir},
+			{Kind: aickpt.TierPeer, Nodes: 3, DataShards: 2, ParityShards: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := rt.MallocProtected(4 * 512)
+	region.Write(0, bytes.Repeat([]byte{7}, 4*512))
+	rt.Checkpoint()
+	rt.WaitIdle()
+	rt.Hierarchy().WaitDrained()
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	mans, err := aickpt.InspectTiers(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mans) != 1 {
+		t.Fatalf("got %d mirrored manifests, want 1", len(mans))
+	}
+	m := mans[0]
+	if m.Epoch != 1 || m.PageCount != 4 || len(m.Tiers) != 2 {
+		t.Errorf("manifest = %+v", m)
+	}
+	peer := m.Tiers[1]
+	if peer.State != "stored" || peer.Shards == nil || peer.Shards.Data != 2 || peer.Shards.Parity != 1 {
+		t.Errorf("peer copy = %+v", peer)
+	}
+}

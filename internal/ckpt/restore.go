@@ -154,6 +154,43 @@ func Restore(fs FS) (*Image, error) {
 	return im, nil
 }
 
+// ListSealed returns the manifests of all sealed epochs on fs, sorted by
+// epoch. Multi-level tier drains use it to enumerate what a tier holds.
+func ListSealed(fs FS) ([]Manifest, error) { return sealedEpochs(fs) }
+
+// ReadManifest returns the manifest of one sealed epoch, or an error when
+// the epoch is not sealed on fs.
+func ReadManifest(fs FS, epoch uint64) (Manifest, error) {
+	f, err := fs.Open(manifestName(epoch))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("ckpt: epoch %d not sealed: %w", epoch, err)
+	}
+	defer f.Close()
+	var m Manifest
+	if err := json.NewDecoder(f).Decode(&m); err != nil {
+		return Manifest{}, fmt.Errorf("ckpt: manifest for epoch %d corrupt: %w", epoch, err)
+	}
+	return m, nil
+}
+
+// EpochPages reads one sealed epoch back in full, verifying record
+// integrity, and returns its manifest plus a page→content map. The
+// multi-level drainer uses it to promote a sealed epoch from the fast tier
+// to slower, more resilient tiers.
+func EpochPages(fs FS, epoch uint64) (Manifest, map[int][]byte, error) {
+	m, err := ReadManifest(fs, epoch)
+	if err != nil {
+		return Manifest{}, nil, err
+	}
+	pages := make(map[int][]byte, m.PageCount)
+	if err := readSegment(fs, m, func(page int, data []byte) {
+		pages[page] = data
+	}); err != nil {
+		return Manifest{}, nil, err
+	}
+	return m, pages, nil
+}
+
 // LastSealedEpoch returns the newest sealed epoch number, or ok=false when
 // the repository holds no sealed epochs. Restarted runtimes use it to
 // continue epoch numbering.

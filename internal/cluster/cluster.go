@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/multilevel"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -112,6 +113,21 @@ func (d *Deployment) LocalBackend(node int) storage.Backend {
 		panic("cluster: node has no local disk")
 	}
 	return storage.NewSimDisk(d.Nodes[node].Disk)
+}
+
+// PeerNodes returns multilevel peer-tier nodes for every deployment node
+// except exclude (the checkpointing node itself): shard traffic to a peer
+// contends on that peer's NIC with its own application and checkpoint
+// traffic. Pass exclude < 0 to include all nodes.
+func (d *Deployment) PeerNodes(exclude int) []*multilevel.PeerNode {
+	var peers []*multilevel.PeerNode
+	for i, n := range d.Nodes {
+		if i == exclude {
+			continue
+		}
+		peers = append(peers, multilevel.NewPeerNode(fmt.Sprintf("node%d", i), n.NIC))
+	}
+	return peers
 }
 
 // Exchange models one halo/boundary exchange for a process: bytes out over

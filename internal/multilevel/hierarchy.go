@@ -1,0 +1,382 @@
+package multilevel
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/sim"
+)
+
+// DrainPolicy bounds the background promotion of sealed epochs to lower
+// tiers.
+type DrainPolicy struct {
+	// QueueDepth bounds each tier's drain queue; a seal that finds the
+	// first queue full blocks until a slot frees (back-pressure toward the
+	// application, as in VELOC). Default 4.
+	QueueDepth int
+	// Workers is the per-tier drain concurrency. Default 1.
+	Workers int
+	// MaxAttempts is the number of Store attempts per epoch per tier
+	// before the copy is marked failed. Default 4.
+	MaxAttempts int
+	// RetryBackoff is the delay before the first retry; it doubles after
+	// every failed attempt. Default 10ms.
+	RetryBackoff time.Duration
+}
+
+func (p DrainPolicy) withDefaults() DrainPolicy {
+	if p.QueueDepth <= 0 {
+		p.QueueDepth = 4
+	}
+	if p.Workers <= 0 {
+		p.Workers = 1
+	}
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.RetryBackoff <= 0 {
+		p.RetryBackoff = 10 * time.Millisecond
+	}
+	return p
+}
+
+// Config assembles a hierarchy.
+type Config struct {
+	// Env supplies time, processes and synchronization; sim.NewRealEnv()
+	// for real applications, a *sim.Kernel for virtual-time experiments.
+	Env sim.Env
+	// PageSize is the page granularity of everything stored.
+	PageSize int
+	// Local is the L1 tier: the committer streams pages into it and a
+	// checkpoint is acknowledged as soon as it is sealed there.
+	Local *LocalTier
+	// Lower are the slower, more resilient tiers in drain order (e.g.
+	// erasure-coded peer tier, then parallel file system).
+	Lower []Tier
+	// Drain bounds the background promotion pipeline.
+	Drain DrainPolicy
+}
+
+// Hierarchy is a multi-level checkpoint store implementing storage.Backend.
+// WritePage and EndEpoch target the fast local tier only; sealing an epoch
+// additionally hands it to the background drainer, which promotes it tier
+// by tier, retrying with exponential backoff, and maintains the per-epoch
+// tier manifest.
+//
+// Under a virtual-time kernel every method except construction must be
+// called from a kernel process, and Close must run before the simulation
+// ends (the drain workers are kernel processes that would otherwise be
+// reported as deadlocked).
+type Hierarchy struct {
+	env      sim.Env
+	pageSize int
+	local    *LocalTier
+	lower    []Tier
+	policy   DrainPolicy
+
+	mu         sync.Locker
+	notEmpty   []sim.Cond // per lower tier: queue went non-empty / closing
+	notFull    []sim.Cond // per lower tier: queue has a free slot
+	queues     [][]drainJob
+	pending    int // epochs sealed but not yet through the whole pipeline
+	idle       sim.Cond
+	closing    bool
+	workers    int
+	workerExit sim.Cond
+	firstErr   error
+	manifests  map[uint64]*EpochManifest
+	epochs     []uint64 // sealed epochs in seal order
+}
+
+// drainJob is one epoch moving through the promotion pipeline. data caches
+// the epoch content loaded from L1 so a multi-tier pipeline reads (and
+// hash-verifies) each epoch once, not once per tier.
+type drainJob struct {
+	epoch uint64
+	data  *EpochData
+}
+
+// New builds a hierarchy and starts its drain workers. Epochs already
+// sealed on the local tier — a restarted process resuming an existing
+// chain — are re-queued for draining: the lower tiers of a fresh hierarchy
+// start empty, so the whole chain must be promoted again before it is
+// resilient to local-tier loss.
+func New(cfg Config) (*Hierarchy, error) {
+	if cfg.Env == nil || cfg.Local == nil {
+		return nil, fmt.Errorf("multilevel: Config needs Env and Local")
+	}
+	if cfg.PageSize <= 0 {
+		return nil, fmt.Errorf("multilevel: non-positive page size")
+	}
+	h := &Hierarchy{
+		env:       cfg.Env,
+		pageSize:  cfg.PageSize,
+		local:     cfg.Local,
+		lower:     cfg.Lower,
+		policy:    cfg.Drain.withDefaults(),
+		manifests: map[uint64]*EpochManifest{},
+	}
+	h.mu = h.env.NewMutex()
+	h.idle = h.env.NewCond(h.mu)
+	h.workerExit = h.env.NewCond(h.mu)
+	h.queues = make([][]drainJob, len(h.lower))
+	h.notEmpty = make([]sim.Cond, len(h.lower))
+	h.notFull = make([]sim.Cond, len(h.lower))
+	for i := range h.lower {
+		h.notEmpty[i] = h.env.NewCond(h.mu)
+		h.notFull[i] = h.env.NewCond(h.mu)
+	}
+	// Recovery scan, before any worker exists (single-threaded here). The
+	// initial enqueue bypasses the queue-depth bound: back-pressure is a
+	// steady-state concern, not a recovery one.
+	sealed, err := ckpt.ListSealed(h.local.FS())
+	if err != nil {
+		return nil, fmt.Errorf("multilevel: scan local tier: %w", err)
+	}
+	for _, man := range sealed {
+		if man.PageSize != h.pageSize {
+			return nil, fmt.Errorf("multilevel: local tier epoch %d page size %d != %d", man.Epoch, man.PageSize, h.pageSize)
+		}
+		m := h.newManifest(man)
+		h.manifests[man.Epoch] = m
+		h.epochs = append(h.epochs, man.Epoch)
+		if len(h.lower) > 0 {
+			h.pending++
+			h.queues[0] = append(h.queues[0], drainJob{epoch: man.Epoch})
+		}
+		h.mirror(m)
+	}
+	for i := range h.lower {
+		for w := 0; w < h.policy.Workers; w++ {
+			h.workers++
+			ti := i
+			h.env.Go(fmt.Sprintf("drain-%s-%d", h.lower[i].Name(), w), func() { h.worker(ti) })
+		}
+	}
+	return h, nil
+}
+
+// newManifest builds the initial tier manifest for a sealed epoch: present
+// on L1, draining toward every lower tier.
+func (h *Hierarchy) newManifest(man ckpt.Manifest) *EpochManifest {
+	m := &EpochManifest{
+		Epoch:     man.Epoch,
+		PageSize:  man.PageSize,
+		PageCount: man.PageCount,
+		Tiers:     []TierCopy{{Tier: h.local.Name(), Level: 0, State: StateStored}},
+	}
+	for i, t := range h.lower {
+		m.Tiers = append(m.Tiers, TierCopy{Tier: t.Name(), Level: i + 1, State: StateDraining})
+	}
+	return m
+}
+
+// LastEpoch returns the newest sealed epoch the hierarchy knows of
+// (including epochs recovered from a pre-existing local tier), or ok=false
+// when none exist. Restarted runtimes use it to continue epoch numbering.
+func (h *Hierarchy) LastEpoch() (epoch uint64, ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.epochs) == 0 {
+		return 0, false
+	}
+	return h.epochs[len(h.epochs)-1], true
+}
+
+// PageSize returns the hierarchy's page granularity.
+func (h *Hierarchy) PageSize() int { return h.pageSize }
+
+// Local returns the L1 tier.
+func (h *Hierarchy) Local() *LocalTier { return h.local }
+
+// Tiers returns all tiers, fastest first.
+func (h *Hierarchy) Tiers() []Tier {
+	out := make([]Tier, 0, 1+len(h.lower))
+	out = append(out, h.local)
+	return append(out, h.lower...)
+}
+
+// WritePage implements storage.Backend: the page goes to L1 only, so the
+// committer is acknowledged at local-storage speed.
+func (h *Hierarchy) WritePage(epoch uint64, page int, data []byte, size int) error {
+	return h.local.WritePage(epoch, page, data, size)
+}
+
+// EndEpoch implements storage.Backend: it seals the epoch on L1, records
+// the tier manifest, and enqueues the epoch for background promotion. It
+// blocks only when the first drain queue is full (back-pressure).
+func (h *Hierarchy) EndEpoch(epoch uint64) error {
+	if err := h.local.EndEpoch(epoch); err != nil {
+		return err
+	}
+	man, err := ckpt.ReadManifest(h.local.FS(), epoch)
+	if err != nil {
+		return fmt.Errorf("multilevel: reread sealed epoch %d: %w", epoch, err)
+	}
+	m := h.newManifest(man)
+	h.mu.Lock()
+	h.manifests[epoch] = m
+	h.epochs = append(h.epochs, epoch)
+	if len(h.lower) > 0 {
+		h.pending++
+		h.enqueueLocked(0, drainJob{epoch: epoch})
+	}
+	h.mirror(m)
+	h.mu.Unlock()
+	return nil
+}
+
+// enqueueLocked appends a job to tier ti's queue, blocking while it is at
+// capacity. Callers hold h.mu.
+func (h *Hierarchy) enqueueLocked(ti int, job drainJob) {
+	for len(h.queues[ti]) >= h.policy.QueueDepth {
+		h.notFull[ti].Wait()
+	}
+	h.queues[ti] = append(h.queues[ti], job)
+	h.notEmpty[ti].Signal()
+}
+
+// mirror best-effort persists a tier manifest next to the L1 epoch files;
+// the in-memory manifest is authoritative while the hierarchy lives.
+// Callers hold h.mu, which both keeps the snapshot consistent and
+// serializes writers of the same file (a stale-snapshot overwrite would
+// otherwise leave the offline mirror permanently behind).
+func (h *Hierarchy) mirror(m *EpochManifest) {
+	_ = writeTierManifest(h.local.FS(), m)
+}
+
+// worker is one drain process for lower tier ti.
+func (h *Hierarchy) worker(ti int) {
+	for {
+		h.mu.Lock()
+		for len(h.queues[ti]) == 0 && !h.closing {
+			h.notEmpty[ti].Wait()
+		}
+		if len(h.queues[ti]) == 0 {
+			h.workers--
+			if h.workers == 0 {
+				h.workerExit.Broadcast()
+			}
+			h.mu.Unlock()
+			return
+		}
+		job := h.queues[ti][0]
+		h.queues[ti] = h.queues[ti][1:]
+		h.notFull[ti].Signal()
+		h.mu.Unlock()
+		h.drainOne(ti, job)
+	}
+}
+
+// drainOne promotes one epoch to lower tier ti: load it from L1 (unless a
+// previous tier already did — the loaded content rides along in the job),
+// store it with bounded retries, record the outcome in the tier manifest,
+// and hand the epoch to the next tier (or retire it from the pipeline).
+func (h *Hierarchy) drainOne(ti int, job drainJob) {
+	tier := h.lower[ti]
+	var err error
+	// A tier that already holds a healthy copy (restart recovery over a
+	// durable tier) is left untouched: re-storing would truncate-and-
+	// rewrite a good copy in place.
+	held := false
+	if holder, ok := tier.(EpochHolder); ok && holder.Has(job.epoch) {
+		held = true
+	}
+	if !held {
+		ep := job.data
+		if ep == nil {
+			ep, err = h.local.Load(job.epoch)
+		}
+		if err == nil {
+			job.data = ep
+			backoff := h.policy.RetryBackoff
+			for attempt := 1; ; attempt++ {
+				if err = tier.Store(ep); err == nil || attempt >= h.policy.MaxAttempts {
+					break
+				}
+				h.env.Sleep(backoff)
+				backoff *= 2
+			}
+		}
+	}
+	h.mu.Lock()
+	m := h.manifests[job.epoch]
+	tc := &m.Tiers[ti+1]
+	if err != nil {
+		tc.State = StateFailed
+		tc.Err = err.Error()
+		if h.firstErr == nil {
+			h.firstErr = fmt.Errorf("multilevel: drain epoch %d to %s: %w", job.epoch, tier.Name(), err)
+		}
+	} else {
+		tc.State = StateStored
+		if dr, ok := tier.(DegradedReporter); ok && dr.Degraded(job.epoch) {
+			tc.State = StateDegraded
+		}
+		if l, ok := tier.(Layouter); ok {
+			tc.Shards = l.Layout(job.epoch)
+		}
+	}
+	h.mirror(m)
+	if ti+1 < len(h.lower) {
+		h.enqueueLocked(ti+1, job)
+	} else {
+		h.pending--
+		if h.pending == 0 {
+			h.idle.Broadcast()
+		}
+	}
+	h.mu.Unlock()
+}
+
+// WaitDrained blocks until every sealed epoch has moved through the whole
+// pipeline (stored or failed on every tier).
+func (h *Hierarchy) WaitDrained() {
+	h.mu.Lock()
+	for h.pending > 0 {
+		h.idle.Wait()
+	}
+	h.mu.Unlock()
+}
+
+// Err returns the first drain error, if any. Failed tier copies do not stop
+// the pipeline — the epoch still reaches the remaining tiers — but they are
+// surfaced here and in the manifest.
+func (h *Hierarchy) Err() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.firstErr
+}
+
+// Close drains all in-flight promotions, stops the drain workers and
+// returns the first drain error. Under a virtual-time kernel it must be
+// called from a kernel process.
+func (h *Hierarchy) Close() error {
+	h.WaitDrained()
+	h.mu.Lock()
+	if !h.closing {
+		h.closing = true
+		for _, c := range h.notEmpty {
+			c.Broadcast()
+		}
+	}
+	for h.workers > 0 {
+		h.workerExit.Wait()
+	}
+	err := h.firstErr
+	h.mu.Unlock()
+	return err
+}
+
+// Manifests returns a copy of every epoch's tier manifest, in seal order.
+func (h *Hierarchy) Manifests() []EpochManifest {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]EpochManifest, 0, len(h.epochs))
+	for _, e := range h.epochs {
+		out = append(out, h.manifests[e].Copy())
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package multilevel
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ckpt"
+)
+
+// Tier copy states recorded in the per-epoch tier manifest.
+const (
+	// StateStored: the tier holds a complete, verified copy of the epoch.
+	StateStored = "stored"
+	// StateDraining: the epoch is queued or in flight toward the tier.
+	StateDraining = "draining"
+	// StateDegraded: the tier accepted the epoch but lost part of its
+	// redundancy doing so (e.g. shards destined for down peer nodes were
+	// dropped); the copy is still recoverable but its failure budget is
+	// partly spent.
+	StateDegraded = "degraded"
+	// StateFailed: draining to the tier failed after all retries.
+	StateFailed = "failed"
+)
+
+// TierCopy records one tier's relationship to an epoch.
+type TierCopy struct {
+	Tier  string `json:"tier"`
+	Level int    `json:"level"`
+	State string `json:"state"`
+	// Shards is set for sharding tiers and records the erasure layout.
+	Shards *ShardLayout `json:"shards,omitempty"`
+	// Err holds the final error message when State is StateFailed.
+	Err string `json:"err,omitempty"`
+}
+
+// EpochManifest is the per-epoch record of where a checkpoint lives in the
+// hierarchy. It is kept in memory by the hierarchy and mirrored as a
+// tiers-%08d.json file next to the L1 epoch files so inspection tools can
+// read it offline.
+type EpochManifest struct {
+	Epoch     uint64     `json:"epoch"`
+	PageSize  int        `json:"page_size"`
+	PageCount int        `json:"page_count"`
+	Tiers     []TierCopy `json:"tiers"`
+}
+
+// Copy returns a deep copy (callers may retain it across manifest updates).
+func (m *EpochManifest) Copy() EpochManifest {
+	out := *m
+	out.Tiers = make([]TierCopy, len(m.Tiers))
+	copy(out.Tiers, m.Tiers)
+	for i, tc := range m.Tiers {
+		if tc.Shards != nil {
+			s := *tc.Shards
+			s.Nodes = append([]string(nil), tc.Shards.Nodes...)
+			out.Tiers[i].Shards = &s
+		}
+	}
+	return out
+}
+
+// tierManifestName is the on-FS mirror of an epoch's tier manifest.
+func tierManifestName(epoch uint64) string { return fmt.Sprintf("tiers-%08d.json", epoch) }
+
+// writeTierManifest mirrors a manifest onto fs (best effort: the in-memory
+// copy is authoritative while the hierarchy lives).
+func writeTierManifest(fs ckpt.FS, m *EpochManifest) error {
+	f, err := fs.Create(tierManifestName(m.Epoch))
+	if err != nil {
+		return err
+	}
+	if err := json.NewEncoder(f).Encode(m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTierManifests loads all tier manifests mirrored on fs, sorted by
+// epoch; ckpt-inspect uses it to report where each epoch lives.
+func ReadTierManifests(fs ckpt.FS) ([]EpochManifest, error) {
+	names, err := fs.List()
+	if err != nil {
+		return nil, err
+	}
+	var out []EpochManifest
+	for _, n := range names {
+		if !strings.HasPrefix(n, "tiers-") || !strings.HasSuffix(n, ".json") {
+			continue
+		}
+		f, err := fs.Open(n)
+		if err != nil {
+			return nil, err
+		}
+		var m EpochManifest
+		err = json.NewDecoder(f).Decode(&m)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("multilevel: tier manifest %s corrupt: %w", n, err)
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Epoch < out[j].Epoch })
+	return out, nil
+}

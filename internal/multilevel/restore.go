@@ -1,0 +1,82 @@
+package multilevel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ckpt"
+)
+
+// RestoreStep records where one epoch was read from during a tier-aware
+// restore.
+type RestoreStep struct {
+	Epoch uint64
+	// Tier is the tier that served the epoch; empty when the epoch was
+	// unrecoverable on every tier.
+	Tier string
+	// Detail explains fallbacks: why faster tiers were skipped, or why the
+	// epoch was unrecoverable.
+	Detail string
+}
+
+// Restore folds the checkpoint chain back into a memory image, reading
+// each epoch from the fastest tier that can still deliver it: L1 if its
+// files survive, otherwise reconstruction from any k of k+m erasure shards
+// on the peers, otherwise the parallel-file-system copy. Because epochs
+// are incremental, the chain is folded oldest to newest and stops at the
+// first epoch no tier can recover — the restart point is the last epoch of
+// the intact prefix. The returned steps document the per-epoch source.
+func (h *Hierarchy) Restore() (*ckpt.Image, []RestoreStep, error) {
+	tiers := h.Tiers()
+	seen := map[uint64]bool{}
+	var epochs []uint64
+	for _, t := range tiers {
+		es, err := t.Epochs()
+		if err != nil {
+			continue // tier unreadable: its epochs may exist elsewhere
+		}
+		for _, e := range es {
+			if !seen[e] {
+				seen[e] = true
+				epochs = append(epochs, e)
+			}
+		}
+	}
+	if len(epochs) == 0 {
+		return nil, nil, fmt.Errorf("multilevel: no sealed epochs on any tier")
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+
+	im := &ckpt.Image{PageSize: h.pageSize, Pages: map[int][]byte{}}
+	var steps []RestoreStep
+	folded := 0
+	for _, epoch := range epochs {
+		var fallbacks []string
+		var ep *EpochData
+		var from string
+		for _, t := range tiers {
+			loaded, err := t.Load(epoch)
+			if err != nil {
+				fallbacks = append(fallbacks, fmt.Sprintf("%s: %v", t.Name(), err))
+				continue
+			}
+			ep, from = loaded, t.Name()
+			break
+		}
+		if ep == nil {
+			steps = append(steps, RestoreStep{Epoch: epoch, Detail: "unrecoverable: " + strings.Join(fallbacks, "; ")})
+			break // incremental chain broken; restart point is the previous epoch
+		}
+		for id, data := range ep.Pages {
+			im.Pages[id] = data
+		}
+		im.Epoch = epoch
+		folded++
+		steps = append(steps, RestoreStep{Epoch: epoch, Tier: from, Detail: strings.Join(fallbacks, "; ")})
+	}
+	if folded == 0 {
+		return nil, steps, fmt.Errorf("multilevel: epoch %d unrecoverable on every tier", epochs[0])
+	}
+	return im, steps, nil
+}

@@ -1,0 +1,162 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// failAfter fails every call once n successful calls have happened.
+type failAfter struct {
+	memSink
+	ok    int
+	calls int
+	fail  error
+}
+
+func newFailAfter(ok int) *failAfter {
+	return &failAfter{memSink: *newMemSink(), ok: ok, fail: errors.New("injected backend failure")}
+}
+
+func (f *failAfter) WritePage(epoch uint64, page int, data []byte, size int) error {
+	f.calls++
+	if f.calls > f.ok {
+		return f.fail
+	}
+	return f.memSink.WritePage(epoch, page, data, size)
+}
+
+func (f *failAfter) EndEpoch(epoch uint64) error {
+	f.calls++
+	if f.calls > f.ok {
+		return f.fail
+	}
+	return f.memSink.EndEpoch(epoch)
+}
+
+func TestErasureStoreShardWriteFailureIsAttributed(t *testing.T) {
+	const k, m, pageSize = 2, 1, 64
+	bad := newFailAfter(0)
+	backends := []Backend{newMemSink(), bad, newMemSink()}
+	es, err := NewErasureStore(k, m, pageSize, backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{5}, pageSize)
+	err = es.WritePage(1, 0, data, pageSize)
+	if err == nil {
+		t.Fatal("failing shard backend not surfaced")
+	}
+	if !strings.Contains(err.Error(), "shard 1") {
+		t.Errorf("error %q does not name the failing shard", err)
+	}
+	if !errors.Is(err, bad.fail) {
+		t.Errorf("error %q does not wrap the backend failure", err)
+	}
+	if err := es.EndEpoch(1); err == nil {
+		t.Error("failing shard seal not surfaced")
+	} else if !strings.Contains(err.Error(), "shard 1") {
+		t.Errorf("seal error %q does not name the failing shard", err)
+	}
+}
+
+func TestErasureStorePhantomShardWriteFailure(t *testing.T) {
+	const k, m = 2, 1
+	backends := []Backend{newMemSink(), newMemSink(), newFailAfter(0)}
+	es, err := NewErasureStore(k, m, 4096, backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := es.WritePage(1, 0, nil, 4096); err == nil {
+		t.Error("phantom write to failing shard backend not surfaced")
+	} else if !strings.Contains(err.Error(), "shard 2") {
+		t.Errorf("error %q does not name the failing shard", err)
+	}
+}
+
+func TestErasureStoreReconstructMissingDataAndParityMixes(t *testing.T) {
+	const k, m, pageSize = 3, 2, 48
+	sinks := make([]*memSink, k+m)
+	backends := make([]Backend, k+m)
+	for i := range sinks {
+		sinks[i] = newMemSink()
+		backends[i] = sinks[i]
+	}
+	es, err := NewErasureStore(k, m, pageSize, backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, pageSize)
+	for i := range data {
+		data[i] = byte(i*7 + 3)
+	}
+	if err := es.WritePage(2, 9, data, pageSize); err != nil {
+		t.Fatal(err)
+	}
+	// Every way of losing exactly m=2 shards must reconstruct.
+	for a := 0; a < k+m; a++ {
+		for b := a + 1; b < k+m; b++ {
+			got, err := es.Reconstruct(func(i int) []byte {
+				if i == a || i == b {
+					return nil
+				}
+				return sinks[i].pages[[2]uint64{2, 9}]
+			})
+			if err != nil {
+				t.Fatalf("lose shards %d,%d: %v", a, b, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("lose shards %d,%d: reconstruction mismatch", a, b)
+			}
+		}
+	}
+	// All shards missing is a hard failure.
+	if _, err := es.Reconstruct(func(int) []byte { return nil }); err == nil {
+		t.Error("expected failure with all shards lost")
+	}
+	// A truncated surviving shard (inconsistent sizes) must be rejected,
+	// not silently decoded.
+	if _, err := es.Reconstruct(func(i int) []byte {
+		s := sinks[i].pages[[2]uint64{2, 9}]
+		if i == 0 {
+			return s[:len(s)-1]
+		}
+		return s
+	}); err == nil {
+		t.Error("expected failure with inconsistent shard sizes")
+	}
+}
+
+func TestReplicatedStoreFailingReplicaIsAttributed(t *testing.T) {
+	good := newMemSink()
+	// The replica dies after absorbing one page and its seal.
+	flaky := newFailAfter(2)
+	rs := &ReplicatedStore{Replicas: []Backend{good, flaky}}
+	data := []byte{1, 2, 3, 4}
+	if err := rs.WritePage(1, 0, data, len(data)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.EndEpoch(1); err != nil {
+		t.Fatal(err)
+	}
+	err := rs.WritePage(2, 0, data, len(data))
+	if err == nil {
+		t.Fatal("dead replica not surfaced")
+	}
+	if !strings.Contains(err.Error(), "replica 1") {
+		t.Errorf("error %q does not name the failing replica", err)
+	}
+	if !errors.Is(err, flaky.fail) {
+		t.Errorf("error %q does not wrap the replica failure", err)
+	}
+	if err := rs.EndEpoch(2); err == nil {
+		t.Error("dead replica seal not surfaced")
+	} else if !strings.Contains(err.Error(), "replica 1") {
+		t.Errorf("seal error %q does not name the failing replica", err)
+	}
+	// The healthy replica keeps a complete epoch 1 either way.
+	if !bytes.Equal(good.pages[[2]uint64{1, 0}], data) || len(good.sealed) == 0 || good.sealed[0] != 1 {
+		t.Error("healthy replica lost epoch 1")
+	}
+}
