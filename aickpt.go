@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/ckpt"
+	"repro/internal/compact"
 	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/pagemem"
@@ -116,6 +117,46 @@ type Options struct {
 	// (zero-page elimination) or CompressionFlate (DEFLATE). Restore
 	// decodes transparently.
 	Compression Compression
+	// Compaction bounds the incremental chain: when its thresholds are
+	// exceeded, a background compactor folds old sealed epochs into a
+	// consolidated base segment and reclaims their storage, so restore
+	// time and disk footprint stay flat as the run grows. The zero value
+	// disables background compaction (Runtime.CompactNow still works).
+	// Meaningful with Dir and Tiers; rejected with a custom Store.
+	Compaction CompactionPolicy
+	// DisableDedup turns off content-addressed dedup in the repository.
+	// Dedup is on by default: a committed page whose content is
+	// bit-identical to the newest chain entry is recorded as a cheap
+	// manifest reference instead of a segment record.
+	DisableDedup bool
+}
+
+// CompactionPolicy decides when the checkpoint chain is compacted.
+type CompactionPolicy struct {
+	// MaxChainDepth triggers compaction when the live chain (consolidated
+	// base + epochs after it) grows beyond this many segments; restore
+	// then reads at most MaxChainDepth segments. <= 0 disables the depth
+	// trigger.
+	MaxChainDepth int
+	// MaxAmplification triggers compaction when on-disk bytes exceed this
+	// multiple of the live image size. <= 0 disables.
+	MaxAmplification float64
+	// KeepRecent epochs are never folded, so the base is rewritten every
+	// ~KeepRecent checkpoints rather than on every seal. Defaults to
+	// max(1, MaxChainDepth/2).
+	KeepRecent int
+}
+
+func (p CompactionPolicy) enabled() bool {
+	return p.MaxChainDepth > 0 || p.MaxAmplification > 0
+}
+
+func (p CompactionPolicy) internal() compact.Policy {
+	return compact.Policy{
+		MaxDepth:         p.MaxChainDepth,
+		MaxAmplification: p.MaxAmplification,
+		KeepRecent:       p.KeepRecent,
+	}
 }
 
 // Compression names a page codec for the durable repository.
@@ -134,13 +175,18 @@ const (
 // Runtime is the per-process checkpointing runtime: it owns the protected
 // address space, the page manager and the storage backend.
 type Runtime struct {
-	opts    Options
-	space   *pagemem.Space
-	manager *core.Manager
-	repo    *ckpt.Repository // nil when a custom Store is used
-	fs      ckpt.FS          // nil when a custom Store is used
-	hier    *Hierarchy       // non-nil when Options.Tiers built a hierarchy
-	closed  bool
+	opts      Options
+	space     *pagemem.Space
+	manager   *core.Manager
+	repo      *ckpt.Repository   // nil when a custom Store is used
+	fs        ckpt.FS            // nil when a custom Store is used
+	hier      *Hierarchy         // non-nil when Options.Tiers built a hierarchy
+	compactor *compact.Compactor // non-nil when Options.Compaction is enabled
+	// compactCfg is the one-shot compaction configuration used by
+	// CompactNow when no background compactor runs; nil with a custom
+	// Store (no repository to compact).
+	compactCfg *compact.Config
+	closed     bool
 }
 
 // New creates a runtime. With Options.Dir set, checkpoints are written to a
@@ -168,7 +214,11 @@ func New(opts Options) (*Runtime, error) {
 	if set != 1 {
 		return nil, errors.New("aickpt: exactly one of Options.Dir, Options.Store and Options.Tiers must be set")
 	}
+	if opts.Store != nil && opts.Compaction.enabled() {
+		return nil, errors.New("aickpt: Options.Compaction needs a repository (Dir or Tiers), not a custom Store")
+	}
 	rt := &Runtime{opts: opts, space: pagemem.NewSpace(opts.PageSize)}
+	env := sim.NewRealEnv()
 	var backend Store
 	var firstEpoch uint64
 	if len(opts.Tiers) > 0 {
@@ -178,6 +228,19 @@ func New(opts Options) (*Runtime, error) {
 		}
 		rt.hier = h
 		backend = h
+		h.inner.Local().SetDedup(!opts.DisableDedup)
+		// Compaction works on the fast local tier; lower tiers keep their
+		// per-epoch copies. Only epochs that have settled through the
+		// drain pipeline may fold, so a base never strands content that
+		// reached no lower tier; superseding is reflected in the tier
+		// manifests.
+		rt.compactCfg = &compact.Config{
+			FS:          h.inner.Local().FS(),
+			PageSize:    opts.PageSize,
+			Policy:      opts.Compaction.internal(),
+			CanFold:     h.inner.Settled,
+			OnCompacted: func(base ckpt.Manifest, _ []uint64) { h.inner.MarkSuperseded(base) },
+		}
 		// As with Dir, a restarted process extends the chain already on
 		// the (durable, directory-backed) local tier. The hierarchy has
 		// re-queued those epochs for draining, so lower tiers regain a
@@ -203,19 +266,36 @@ func New(opts Options) (*Runtime, error) {
 		default:
 			return nil, fmt.Errorf("aickpt: unknown compression %d", opts.Compression)
 		}
+		rt.repo.SetDedup(!opts.DisableDedup)
 		backend = rt.repo
+		rt.compactCfg = &compact.Config{
+			FS:       fs,
+			PageSize: opts.PageSize,
+			Codec:    uint8(repoCodec(opts.Compression)),
+			Policy:   opts.Compaction.internal(),
+		}
 		// A restarted process extends the existing chain rather than
-		// overwriting it.
+		// overwriting it (LastSealedEpoch sees through compacted bases, so
+		// numbering continues even when every epoch file was folded away).
 		if last, ok, err := ckpt.LastSealedEpoch(fs); err != nil {
 			return nil, err
 		} else if ok {
 			firstEpoch = last
 		}
 	}
+	if opts.Compaction.enabled() {
+		rt.compactor = compact.NewCompactor(env, *rt.compactCfg)
+		if rt.hier != nil {
+			// Epochs become foldable when they settle through the drain
+			// pipeline, which can be long after the seal that kicked the
+			// compactor last.
+			rt.hier.inner.SetOnSettled(func(uint64) { rt.compactor.Kick() })
+		}
+	}
 	rt.manager = core.NewManager(core.Config{
-		Env:        sim.NewRealEnv(),
+		Env:        env,
 		Space:      rt.space,
-		Store:      storeAdapter{backend},
+		Store:      storeAdapter{s: backend, compactor: rt.compactor},
 		Strategy:   coreStrategy(opts.Strategy),
 		CowSlots:   int(opts.CowBuffer / int64(opts.PageSize)),
 		FirstEpoch: firstEpoch,
@@ -224,14 +304,38 @@ func New(opts Options) (*Runtime, error) {
 	return rt, nil
 }
 
+func repoCodec(c Compression) compress.Codec {
+	switch c {
+	case CompressionZero:
+		return compress.Zero
+	case CompressionFlate:
+		return compress.Flate
+	default:
+		return compress.None
+	}
+}
+
 // storeAdapter bridges the public Store interface to the internal backend
-// interface (they are structurally identical).
-type storeAdapter struct{ s Store }
+// interface (they are structurally identical) and kicks the background
+// compactor after every seal.
+type storeAdapter struct {
+	s         Store
+	compactor *compact.Compactor
+}
 
 func (a storeAdapter) WritePage(epoch uint64, page int, data []byte, size int) error {
 	return a.s.WritePage(epoch, page, data, size)
 }
-func (a storeAdapter) EndEpoch(epoch uint64) error { return a.s.EndEpoch(epoch) }
+
+func (a storeAdapter) EndEpoch(epoch uint64) error {
+	if err := a.s.EndEpoch(epoch); err != nil {
+		return err
+	}
+	if a.compactor != nil {
+		a.compactor.Kick()
+	}
+	return nil
+}
 
 // PageSize returns the tracking granularity in bytes.
 func (rt *Runtime) PageSize() int { return rt.opts.PageSize }
@@ -273,15 +377,114 @@ func (rt *Runtime) Err() error { return rt.manager.Err() }
 // injection.
 func (rt *Runtime) Hierarchy() *Hierarchy { return rt.hier }
 
+// CompactNow runs one forced compaction pass synchronously: every foldable
+// epoch is consolidated into a base segment regardless of the policy
+// thresholds, and the superseded files are garbage-collected. It works with
+// or without a background compactor configured (with Tiers, only epochs
+// already drained to every lower tier fold). Call it at natural barriers —
+// before a planned shutdown, or when reclaiming disk space matters more
+// than the fold cost.
+func (rt *Runtime) CompactNow() (CompactionResult, error) {
+	if rt.compactor != nil {
+		return publicResult(rt.compactor.CompactNow())
+	}
+	if rt.compactCfg == nil {
+		return CompactionResult{}, errors.New("aickpt: compaction needs a repository (Dir or Tiers), not a custom Store")
+	}
+	return publicResult(compact.RunOnce(*rt.compactCfg, true))
+}
+
+// CompactionResult describes one compaction pass.
+type CompactionResult struct {
+	// Compacted is true when a new consolidated base was committed.
+	Compacted bool
+	// BaseFrom / BaseTo is the epoch range the committed base covers.
+	BaseFrom, BaseTo uint64
+	// EpochsFolded counts the epochs folded into the base this pass.
+	EpochsFolded int
+	// BytesWritten is the size of the new base segment.
+	BytesWritten int64
+	// BytesReclaimed / FilesRemoved count the storage garbage-collected.
+	BytesReclaimed int64
+	FilesRemoved   int
+	// LiveSegments is the number of segments a restore reads after the
+	// pass.
+	LiveSegments int
+}
+
+func publicResult(r compact.Result, err error) (CompactionResult, error) {
+	return CompactionResult{
+		Compacted:      r.Compacted,
+		BaseFrom:       r.BaseFrom,
+		BaseTo:         r.BaseTo,
+		EpochsFolded:   r.EpochsFolded,
+		BytesWritten:   r.BytesWritten,
+		BytesReclaimed: r.BytesReclaimed,
+		FilesRemoved:   r.FilesRemoved,
+		LiveSegments:   r.LiveSegments,
+	}, err
+}
+
+// StorageStats reports the repository-side counters of the runtime:
+// content-addressed dedup activity and background compaction totals. With
+// a custom Store all counters are zero.
+type StorageStats struct {
+	// PagesStored / BytesStored count physical segment records written.
+	PagesStored int
+	BytesStored int64
+	// PagesDeduped / BytesDeduped count page commits elided because the
+	// content matched the newest chain entry.
+	PagesDeduped int
+	BytesDeduped int64
+	// Compactions counts committed bases; EpochsFolded the epochs they
+	// absorbed.
+	Compactions  int
+	EpochsFolded int
+	// CompactionBytesWritten / BytesReclaimed are base bytes written and
+	// garbage bytes collected over the runtime's life.
+	CompactionBytesWritten int64
+	BytesReclaimed         int64
+	// LiveSegments is the chain length after the last compaction pass (0
+	// until one runs).
+	LiveSegments int
+}
+
+// StorageStats returns the runtime's dedup and compaction counters.
+func (rt *Runtime) StorageStats() StorageStats {
+	var out StorageStats
+	var ds ckpt.DedupStats
+	switch {
+	case rt.repo != nil:
+		ds = rt.repo.DedupStats()
+	case rt.hier != nil:
+		ds = rt.hier.inner.Local().DedupStats()
+	}
+	out.PagesStored, out.BytesStored = ds.PagesStored, ds.BytesStored
+	out.PagesDeduped, out.BytesDeduped = ds.PagesDeduped, ds.BytesDeduped
+	if rt.compactor != nil {
+		cs := rt.compactor.Stats()
+		out.Compactions = cs.Compactions
+		out.EpochsFolded = cs.EpochsFolded
+		out.CompactionBytesWritten = cs.BytesWritten
+		out.BytesReclaimed = cs.BytesReclaimed
+		out.LiveSegments = cs.LiveSegments
+	}
+	return out
+}
+
 // Close drains in-flight work (including background tier draining when a
-// hierarchy is configured), stops the committer and releases the runtime.
-// It returns the first storage error, if any.
+// hierarchy is configured), stops the committer and the background
+// compactor, and releases the runtime. It returns the first storage error,
+// if any.
 func (rt *Runtime) Close() error {
 	if rt.closed {
 		return rt.manager.Err()
 	}
 	rt.closed = true
 	rt.manager.Close()
+	if rt.compactor != nil {
+		rt.compactor.Close()
+	}
 	if err := rt.manager.Err(); err != nil {
 		if rt.hier != nil {
 			rt.hier.Close()

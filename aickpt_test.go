@@ -349,3 +349,214 @@ func TestCompressedRuntimeRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// runChainWorkload drives a runtime through n checkpoints over a working
+// set where half the dirtied pages are rewritten with identical content
+// (the dedup target), and returns the final memory snapshot.
+func runChainWorkload(t *testing.T, rt *Runtime, pages, pageSize, checkpoints int) []byte {
+	t.Helper()
+	state := rt.MallocProtected(pages * pageSize)
+	buf := make([]byte, pageSize)
+	for step := 1; step <= checkpoints; step++ {
+		for i := 0; i < pages/2; i++ {
+			p := (step + i) % pages
+			stamp := step
+			if p%2 == 1 {
+				stamp = 0 // identical content on every rewrite
+			}
+			for j := range buf {
+				buf[j] = byte(p*31 + stamp*7 + j%11)
+			}
+			state.Write(p*pageSize, buf)
+		}
+		rt.Checkpoint()
+	}
+	rt.WaitIdle()
+	return append([]byte(nil), state.Bytes()...)
+}
+
+// TestCompactionEndToEnd proves the acceptance criterion on the public
+// API: with compaction (depth d) a run of N >> d epochs restores by
+// reading at most d segments, bit-identically to a compaction-off run of
+// the same workload, and a pre-compaction (v1-style) chain still restores
+// unchanged after a runtime with compaction opens it.
+func TestCompactionEndToEnd(t *testing.T) {
+	const pages, pageSize, checkpoints, depth = 16, 256, 24, 4
+
+	run := func(opts Options) (string, []byte, StorageStats) {
+		dir := t.TempDir()
+		opts.Dir, opts.PageSize = dir, pageSize
+		rt, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snapshot := runChainWorkload(t, rt, pages, pageSize, checkpoints)
+		if err := rt.Close(); err != nil { // Close drains the compactor's pending kick
+			t.Fatal(err)
+		}
+		return dir, snapshot, rt.StorageStats()
+	}
+
+	plainDir, plainSnap, plainStats := run(Options{DisableDedup: true})
+	compDir, compSnap, compStats := run(Options{Compaction: CompactionPolicy{MaxChainDepth: depth}})
+
+	if !bytes.Equal(plainSnap, compSnap) {
+		t.Fatal("workloads diverged")
+	}
+	if plainStats.PagesDeduped != 0 {
+		t.Fatalf("dedup ran while disabled: %+v", plainStats)
+	}
+	if compStats.PagesDeduped == 0 {
+		t.Fatalf("no dedup on identical rewrites: %+v", compStats)
+	}
+	if compStats.Compactions == 0 || compStats.EpochsFolded == 0 || compStats.BytesReclaimed == 0 {
+		t.Fatalf("background compactor idle: %+v", compStats)
+	}
+
+	imPlain, err := Restore(plainDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imComp, err := Restore(compDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imPlain.Epoch != uint64(checkpoints) || imComp.Epoch != imPlain.Epoch {
+		t.Fatalf("restart points: plain %d, compacted %d", imPlain.Epoch, imComp.Epoch)
+	}
+	if imPlain.SegmentsRead() != checkpoints {
+		t.Fatalf("baseline read %d segments, want %d", imPlain.SegmentsRead(), checkpoints)
+	}
+	if imComp.SegmentsRead() > depth {
+		t.Fatalf("compacted restore read %d segments, want <= %d", imComp.SegmentsRead(), depth)
+	}
+	for _, p := range imPlain.PageIDs() {
+		if !bytes.Equal(imPlain.Page(p), imComp.Page(p)) {
+			t.Fatalf("page %d differs between compacted and uncompacted restore", p)
+		}
+	}
+
+	// The pre-compaction chain keeps restoring unchanged when a runtime
+	// with compaction enabled reopens and extends it.
+	rt, err := New(Options{Dir: plainDir, PageSize: pageSize, Compaction: CompactionPolicy{MaxChainDepth: depth}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.CompactNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Compacted || res.LiveSegments != 1 {
+		t.Fatalf("CompactNow on v1-style chain: %+v", res)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	imAfter, err := Restore(plainDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imAfter.Epoch != imPlain.Epoch || imAfter.SegmentsRead() != 1 {
+		t.Fatalf("post-compaction restore: epoch %d, segments %d", imAfter.Epoch, imAfter.SegmentsRead())
+	}
+	for _, p := range imPlain.PageIDs() {
+		if !bytes.Equal(imPlain.Page(p), imAfter.Page(p)) {
+			t.Fatalf("page %d changed after compacting the old chain", p)
+		}
+	}
+}
+
+// TestCompactionRestartContinuesNumbering restarts over a fully compacted
+// repository: the new runtime must continue epoch numbering after the
+// base, not restart below it.
+func TestCompactionRestartContinuesNumbering(t *testing.T) {
+	const pageSize = 256
+	dir := t.TempDir()
+	rt, err := New(Options{Dir: dir, PageSize: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runChainWorkload(t, rt, 8, pageSize, 5)
+	if res, err := rt.CompactNow(); err != nil || !res.Compacted {
+		t.Fatalf("CompactNow: %+v %v", res, err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rt2, err := New(Options{Dir: dir, PageSize: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := rt2.MallocProtected(8 * pageSize)
+	state.StoreByte(0, 0x5A)
+	rt2.Checkpoint()
+	rt2.WaitIdle()
+	if err := rt2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	im, err := Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Epoch != 6 {
+		t.Fatalf("restart point = %d, want 6 (numbering continues past the base)", im.Epoch)
+	}
+	if im.Page(0)[0] != 0x5A {
+		t.Fatal("post-restart write lost")
+	}
+}
+
+func TestCompactionWithTiers(t *testing.T) {
+	const pageSize = 256
+	dir := t.TempDir()
+	rt, err := New(Options{
+		PageSize: pageSize,
+		Tiers: []TierSpec{
+			{Kind: TierLocal, Dir: dir},
+			{Kind: TierPFS},
+		},
+		Compaction: CompactionPolicy{MaxChainDepth: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := runChainWorkload(t, rt, 8, pageSize, 12)
+	rt.Hierarchy().WaitDrained()
+	res, err := rt.CompactNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LiveSegments != 1 {
+		t.Fatalf("CompactNow: %+v", res)
+	}
+	// The tier manifests now show the base and the superseded epochs.
+	var sawBase bool
+	for _, m := range rt.Hierarchy().Manifests() {
+		if m.IsBase {
+			sawBase = true
+		}
+	}
+	if !sawBase {
+		t.Fatal("no base in tier manifests after compaction")
+	}
+	im, _, err := rt.Hierarchy().Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 8; p++ {
+		if !bytes.Equal(im.Page(p), snapshot[p*pageSize:(p+1)*pageSize]) {
+			t.Fatalf("page %d differs after tiered compaction", p)
+		}
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactionRejectsCustomStore(t *testing.T) {
+	_, err := New(Options{Store: nullStore{}, Compaction: CompactionPolicy{MaxChainDepth: 4}})
+	if err == nil {
+		t.Fatal("Compaction with a custom Store accepted")
+	}
+}

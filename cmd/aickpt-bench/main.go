@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "synthetic", "scenario: synthetic (Fig 2 benchmark), tiers (multi-level hierarchy under failures)")
+	scenario := flag.String("scenario", "synthetic", "scenario: synthetic (Fig 2 benchmark), tiers (multi-level hierarchy under failures), chain (dedup + compaction vs chain growth)")
 	patternFlag := flag.String("pattern", "ascending", "access pattern: ascending, random, descending")
 	strategyFlag := flag.String("strategy", "adaptive", "approach: adaptive, no-pattern, sync")
 	scale := flag.Int("scale", experiments.ScaleBench, "memory division factor (1 = 256 MB region)")
@@ -33,7 +33,15 @@ func main() {
 	iterations := flag.Int("iterations", 39, "total iterations")
 	every := flag.Int("every", 10, "checkpoint every N iterations")
 	peerFailures := flag.Int("peer-failures", 1, "tiers scenario: peer nodes killed before restore")
+	chainEpochs := flag.Int("chain-epochs", 128, "chain scenario: epochs sealed")
+	chainDepth := flag.Int("chain-depth", 8, "chain scenario: compaction depth bound")
+	chainPages := flag.Int("chain-pages", 256, "chain scenario: working-set pages")
 	flag.Parse()
+
+	if *scenario == "chain" {
+		chainScenario(*chainEpochs, *chainDepth, *chainPages)
+		return
+	}
 
 	if *scenario == "tiers" {
 		// The -iterations/-every defaults are tuned for the synthetic

@@ -1,9 +1,11 @@
 // Command ckpt-inspect examines an AI-Ckpt checkpoint repository: it lists
-// every sealed epoch, verifies record integrity (per-page FNV-64a hashes)
-// and reports the restart point. When the repository is the local tier of
-// a multi-level hierarchy, it also prints each epoch's tier manifest:
-// which tiers hold the epoch, in what state, and the erasure shard layout
-// on the peer tier.
+// every chain entry — consolidated bases and sealed epochs — verifies
+// record integrity (per-page FNV-64a hashes), reports per-epoch dedup
+// ratios, marks entries superseded by a compacted base, sums the bytes a
+// garbage-collection pass could reclaim, and prints the restart point.
+// When the repository is the local tier of a multi-level hierarchy, it
+// also prints each epoch's tier manifest: which tiers hold the epoch, in
+// what state, and the erasure shard layout on the peer tier.
 //
 // Usage:
 //
@@ -33,24 +35,48 @@ func main() {
 		fmt.Println("no sealed epochs found")
 		os.Exit(0)
 	}
-	fmt.Printf("%-8s %-10s %-8s %-12s %-8s %s\n", "epoch", "pagesize", "pages", "bytes", "healthy", "problem")
+	fmt.Printf("%-16s %-10s %-8s %-8s %-8s %-12s %-10s %-8s %s\n",
+		"entry", "pagesize", "pages", "deduped", "dedup%", "bytes", "status", "healthy", "problem")
 	healthy := true
 	for _, r := range reports {
-		status := "yes"
+		entry := fmt.Sprintf("epoch %d", r.Epoch)
+		if r.IsBase {
+			entry = fmt.Sprintf("base [%d,%d]", r.BaseFrom, r.BaseTo)
+		}
+		status := "live"
+		if r.Superseded {
+			status = "superseded"
+		}
+		ok := "yes"
 		if !r.Healthy {
-			status = "NO"
+			ok = "NO"
 			healthy = false
 		}
-		fmt.Printf("%-8d %-10d %-8d %-12d %-8s %s\n",
-			r.Epoch, r.PageSize, r.PageCount, r.TotalBytes, status, r.Problem)
+		fmt.Printf("%-16s %-10d %-8d %-8d %-8s %-12d %-10s %-8s %s\n",
+			entry, r.PageSize, r.PageCount, r.Deduped,
+			fmt.Sprintf("%.0f%%", r.DedupRatio*100), r.TotalBytes, status, ok, r.Problem)
+	}
+	if sum, err := aickpt.InspectChain(dir); err == nil {
+		fmt.Printf("\nchain: %d live segment(s), %d B live", sum.LiveSegments, sum.LiveBytes)
+		if sum.HasBase {
+			fmt.Printf(", base covers epochs [%d,%d]", sum.BaseFrom, sum.BaseTo)
+		}
+		if sum.Deduped > 0 {
+			fmt.Printf(", %d page write(s) deduplicated", sum.Deduped)
+		}
+		fmt.Printf("\nreclaimable by GC: %d B\n", sum.ReclaimableBytes)
 	}
 	if tiers, err := aickpt.InspectTiers(dir); err != nil {
 		fmt.Fprintf(os.Stderr, "ckpt-inspect: tier manifests unreadable: %v\n", err)
 		healthy = false
 	} else if len(tiers) > 0 {
 		fmt.Printf("\ntier manifests:\n")
-		fmt.Printf("%-8s %-10s %-8s %-10s %s\n", "epoch", "tier", "level", "state", "shards")
+		fmt.Printf("%-16s %-10s %-8s %-12s %s\n", "entry", "tier", "level", "state", "shards")
 		for _, m := range tiers {
+			entry := fmt.Sprintf("epoch %d", m.Epoch)
+			if m.IsBase {
+				entry = fmt.Sprintf("base [%d,%d]", m.BaseFrom, m.BaseTo)
+			}
 			for _, tc := range m.Tiers {
 				layout := "-"
 				if tc.Shards != nil {
@@ -61,13 +87,13 @@ func main() {
 				if tc.Err != "" {
 					state += " (" + tc.Err + ")"
 				}
-				fmt.Printf("%-8d %-10s %-8d %-10s %s\n", m.Epoch, tc.Tier, tc.Level, state, layout)
+				fmt.Printf("%-16s %-10s %-8d %-12s %s\n", entry, tc.Tier, tc.Level, state, layout)
 			}
 		}
 	}
 	if im, err := aickpt.Restore(dir); err == nil {
-		fmt.Printf("\nrestart point: epoch %d (%d distinct pages, %d B page size)\n",
-			im.Epoch, len(im.PageIDs()), im.PageSize)
+		fmt.Printf("\nrestart point: epoch %d (%d distinct pages, %d B page size, %d segment(s) read)\n",
+			im.Epoch, len(im.PageIDs()), im.PageSize, im.SegmentsRead())
 	} else {
 		fmt.Printf("\nrestore would fail: %v\n", err)
 	}

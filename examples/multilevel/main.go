@@ -47,7 +47,7 @@ func main() {
 		for i := range buf {
 			buf[i] = byte(i + step*17)
 		}
-		state.Write(((step * 3) % 8 * 64) << 10, buf)
+		state.Write(((step*3)%8*64)<<10, buf)
 		if step%3 == 0 {
 			rt.Checkpoint()
 		}

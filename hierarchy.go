@@ -227,12 +227,18 @@ type TierRestoreStep struct {
 	Detail string
 }
 
-// EpochTierManifest records where one checkpoint epoch lives.
+// EpochTierManifest records where one checkpoint epoch (or promoted
+// compacted base) lives.
 type EpochTierManifest struct {
 	Epoch     uint64
 	PageSize  int
 	PageCount int
 	Tiers     []TierCopyReport
+	// IsBase marks the manifest of a compacted base segment covering
+	// [BaseFrom, BaseTo], promoted through the hierarchy in place of the
+	// epochs it folded.
+	IsBase           bool
+	BaseFrom, BaseTo uint64
 }
 
 // TierCopyReport is one tier's relationship to an epoch: "stored",
@@ -256,6 +262,10 @@ func manifestsToPublic(ms []multilevel.EpochManifest) []EpochTierManifest {
 	out := make([]EpochTierManifest, len(ms))
 	for i, m := range ms {
 		pm := EpochTierManifest{Epoch: m.Epoch, PageSize: m.PageSize, PageCount: m.PageCount}
+		if m.Base != nil {
+			pm.IsBase = true
+			pm.BaseFrom, pm.BaseTo = m.Base.From, m.Base.To
+		}
 		for _, tc := range m.Tiers {
 			rep := TierCopyReport{Tier: tc.Tier, Level: tc.Level, State: tc.State, Err: tc.Err}
 			if tc.Shards != nil {

@@ -1,0 +1,326 @@
+package ckpt
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	iofs "io/fs"
+	"strings"
+)
+
+// Format v2 extends the v1 manifest with per-page content hashes (enabling
+// content-addressed dedup: a page whose content matches the newest chain
+// entry is recorded as a cheap Ref instead of a segment record) and with
+// consolidated base segments written by the background compactor. v1
+// repositories remain fully readable: a manifest without a format field is
+// treated as v1 and restored exactly as before.
+const FormatV2 = 2
+
+// PageRef records one deduplicated page of an epoch: the page's content is
+// bit-identical to the physical record it references, so no segment record
+// was written. Refs are pure annotations — restore semantics ("newest write
+// wins, absent pages keep their older content") already produce the right
+// image without reading them — kept for accounting, inspection and for
+// rebuilding the dedup index after a restart.
+type PageRef struct {
+	// Page is the global page ID.
+	Page int `json:"page"`
+	// Epoch is the epoch whose segment physically holds the content.
+	Epoch uint64 `json:"epoch"`
+	// Hash is the FNV-64a hash of the raw (uncompressed) page content.
+	Hash uint64 `json:"hash"`
+}
+
+// BaseRange marks a manifest as a consolidated base segment covering the
+// inclusive epoch range [From, To]: the segment holds the newest content as
+// of To of every page written in the range, so restore reads it instead of
+// the individual epochs.
+type BaseRange struct {
+	From uint64 `json:"from"`
+	To   uint64 `json:"to"`
+}
+
+func baseSegmentName(from, to uint64) string {
+	return fmt.Sprintf("base-%08d-%08d.pages", from, to)
+}
+
+func baseManifestName(from, to uint64) string {
+	return fmt.Sprintf("base-%08d-%08d.json", from, to)
+}
+
+// segmentFile returns the segment file backing a manifest (epoch segment or
+// base segment).
+func segmentFile(m Manifest) string {
+	if m.Base != nil {
+		return baseSegmentName(m.Base.From, m.Base.To)
+	}
+	return segmentName(m.Epoch)
+}
+
+// manifestFile returns the manifest file name of a manifest.
+func manifestFile(m Manifest) string {
+	if m.Base != nil {
+		return baseManifestName(m.Base.From, m.Base.To)
+	}
+	return manifestName(m.Epoch)
+}
+
+func contentHash(data []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64()
+}
+
+// Chain is the logical state of a repository: the newest committed base (if
+// any), the live epochs after it, and the garbage left behind by earlier
+// compactions (superseded epochs and stale bases, removable at any time).
+type Chain struct {
+	// PageSize is the page granularity shared by every chain entry (0 for
+	// an empty chain).
+	PageSize int
+	// Base is the newest committed base manifest, or nil.
+	Base *Manifest
+	// Epochs are the sealed epochs newer than Base (all sealed epochs when
+	// Base is nil), ascending.
+	Epochs []Manifest
+	// Superseded are sealed epochs covered by Base that have not been
+	// garbage-collected yet (a crash between commit and GC leaves them).
+	Superseded []Manifest
+	// StaleBases are older bases superseded by Base, pending GC.
+	StaleBases []Manifest
+}
+
+// LastEpoch returns the newest epoch the chain reaches (through live epochs
+// or the base), and ok=false for an empty chain.
+func (c *Chain) LastEpoch() (uint64, bool) {
+	if n := len(c.Epochs); n > 0 {
+		return c.Epochs[n-1].Epoch, true
+	}
+	if c.Base != nil {
+		return c.Base.Base.To, true
+	}
+	return 0, false
+}
+
+// LiveSegments counts the segments a restore must read: the base plus every
+// live epoch with at least one physical record.
+func (c *Chain) LiveSegments() int {
+	n := 0
+	if c.Base != nil {
+		n++
+	}
+	for _, m := range c.Epochs {
+		if m.PageCount > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ReclaimableBytes sums the segment bytes of superseded epochs and stale
+// bases: storage a garbage-collection pass would free.
+func (c *Chain) ReclaimableBytes() int64 {
+	var n int64
+	for _, m := range c.Superseded {
+		n += m.TotalBytes
+	}
+	for _, m := range c.StaleBases {
+		n += m.TotalBytes
+	}
+	return n
+}
+
+// LoadChain assembles the repository's chain from fs. Crash-recovery
+// semantics: a base segment without a manifest (compaction interrupted
+// before its commit point) is invisible, and a base manifest that fails to
+// decode is skipped — the epochs it would have covered are still present,
+// so the chain remains restorable. A corrupt *epoch* manifest is an error,
+// as in v1, but a manifest that vanishes between List and Open (a
+// concurrent garbage-collection pass collected it) is skipped. Manifests
+// that disagree on page size are rejected, naming the diverging entry.
+func LoadChain(fs FS) (*Chain, error) {
+	names, err := fs.List()
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: list: %w", err)
+	}
+	c := &Chain{}
+	var bases []Manifest
+	for _, n := range names {
+		if !strings.HasSuffix(n, ".json") {
+			continue
+		}
+		isEpoch := strings.HasPrefix(n, "epoch-")
+		isBase := strings.HasPrefix(n, "base-")
+		if !isEpoch && !isBase {
+			continue
+		}
+		f, err := fs.Open(n)
+		if err != nil {
+			if errors.Is(err, iofs.ErrNotExist) {
+				continue // vanished since List: concurrently collected
+			}
+			return nil, fmt.Errorf("ckpt: open %s: %w", n, err)
+		}
+		var m Manifest
+		err = json.NewDecoder(f).Decode(&m)
+		f.Close()
+		if err != nil {
+			if isBase {
+				continue // uncommitted/torn compaction artifact: ignore
+			}
+			return nil, fmt.Errorf("ckpt: manifest %s corrupt: %w", n, err)
+		}
+		if isBase {
+			if m.Base == nil {
+				continue // not a valid base manifest
+			}
+			bases = append(bases, m)
+		} else {
+			c.Epochs = append(c.Epochs, m)
+		}
+	}
+	sortManifests(c.Epochs)
+	sortManifests(bases)
+	// The newest base (largest To, then largest From) wins; the rest are
+	// garbage from earlier compactions.
+	for i, b := range bases {
+		bc := b
+		if c.Base == nil || bc.Base.To > c.Base.Base.To ||
+			(bc.Base.To == c.Base.Base.To && bc.Base.From > c.Base.Base.From) {
+			if c.Base != nil {
+				c.StaleBases = append(c.StaleBases, *c.Base)
+			}
+			c.Base = &bases[i]
+		} else {
+			c.StaleBases = append(c.StaleBases, bc)
+		}
+	}
+	if c.Base != nil {
+		live := c.Epochs[:0:0]
+		for _, m := range c.Epochs {
+			if m.Epoch <= c.Base.Base.To {
+				c.Superseded = append(c.Superseded, m)
+			} else {
+				live = append(live, m)
+			}
+		}
+		c.Epochs = live
+	}
+	if err := c.validatePageSize(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// validatePageSize rejects a chain whose manifests disagree on page size,
+// naming the entry that diverged. Folding mixed-granularity epochs would
+// silently interleave pages tracked at different offsets.
+func (c *Chain) validatePageSize() error {
+	check := func(m Manifest, kind string) error {
+		if c.PageSize == 0 {
+			c.PageSize = m.PageSize
+		}
+		if m.PageSize != c.PageSize {
+			return fmt.Errorf("ckpt: %s %d has page size %d, chain uses %d: mixed-granularity chain is not restorable",
+				kind, m.Epoch, m.PageSize, c.PageSize)
+		}
+		return nil
+	}
+	if c.Base != nil {
+		if err := check(*c.Base, "base ending at epoch"); err != nil {
+			return err
+		}
+	}
+	for _, m := range c.Epochs {
+		if err := check(m, "epoch"); err != nil {
+			return err
+		}
+	}
+	for _, m := range c.Superseded {
+		if err := check(m, "superseded epoch"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBasePages reads a committed base segment back in full, verifying
+// record integrity, and returns its page→content map.
+func ReadBasePages(fs FS, m Manifest) (map[int][]byte, error) {
+	if m.Base == nil {
+		return nil, fmt.Errorf("ckpt: manifest for epoch %d is not a base", m.Epoch)
+	}
+	pages := make(map[int][]byte, m.PageCount)
+	if err := readSegment(fs, m, func(page int, data []byte) {
+		pages[page] = data
+	}); err != nil {
+		return nil, err
+	}
+	return pages, nil
+}
+
+// WriteBase consolidates a folded image into a committed base segment
+// covering [from, to]. The write is crash-safe: the segment is written
+// first (an unsealed base segment is invisible to LoadChain), and the
+// manifest — the commit point — last. pages holds the newest raw content of
+// every page as of epoch to; codec compresses the stored records.
+// WriteBase does not garbage-collect what the base supersedes; see
+// GCSuperseded.
+func WriteBase(fs FS, from, to uint64, pageSize int, pages map[int][]byte, codec uint8) (Manifest, error) {
+	w := &segmentWriter{pageSize: pageSize, codec: codec}
+	man := Manifest{
+		Epoch:    to,
+		PageSize: pageSize,
+		Format:   FormatV2,
+		Codec:    codec,
+		Base:     &BaseRange{From: from, To: to},
+	}
+	f, err := fs.Create(baseSegmentName(from, to))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("ckpt: create base segment: %w", err)
+	}
+	if err := w.begin(f); err != nil {
+		f.Close()
+		return Manifest{}, err
+	}
+	for _, id := range sortedPageIDs(pages) {
+		if err := w.writeRecord(&man, id, pages[id], contentHash(pages[id])); err != nil {
+			f.Close()
+			return Manifest{}, fmt.Errorf("ckpt: base page %d: %w", id, err)
+		}
+	}
+	if err := w.finish(); err != nil {
+		return Manifest{}, fmt.Errorf("ckpt: base segment: %w", err)
+	}
+	if err := writeManifestFile(fs, baseManifestName(from, to), &man); err != nil {
+		return Manifest{}, err
+	}
+	return man, nil
+}
+
+// GCSuperseded removes the files made obsolete by the chain's committed
+// base: superseded epoch segments and manifests, and stale base files. It
+// returns the segment bytes reclaimed and the file names removed. Removal
+// failures are ignored (a vanished file is the goal; anything else is
+// retried by the next pass).
+func GCSuperseded(fs FS, c *Chain) (reclaimed int64, removed []string) {
+	drop := func(m Manifest) {
+		if m.PageCount > 0 || m.Base != nil {
+			if fs.Remove(segmentFile(m)) == nil {
+				reclaimed += m.TotalBytes
+				removed = append(removed, segmentFile(m))
+			}
+		}
+		if fs.Remove(manifestFile(m)) == nil {
+			removed = append(removed, manifestFile(m))
+		}
+	}
+	for _, m := range c.Superseded {
+		drop(m)
+	}
+	for _, m := range c.StaleBases {
+		drop(m)
+	}
+	return reclaimed, removed
+}

@@ -10,6 +10,7 @@ package ckpt
 import (
 	"fmt"
 	"io"
+	iofs "io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -73,13 +74,14 @@ func (m *MemFS) Create(name string) (io.WriteCloser, error) {
 	return &memFile{fs: m, name: name}, nil
 }
 
-// Open implements FS.
+// Open implements FS. A missing file wraps fs.ErrNotExist, matching OSFS,
+// so callers can distinguish "vanished" from real I/O failures.
 func (m *MemFS) Open(name string) (io.ReadCloser, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	data, ok := m.files[name]
 	if !ok {
-		return nil, fmt.Errorf("ckpt: file %q does not exist", name)
+		return nil, fmt.Errorf("ckpt: file %q does not exist: %w", name, iofs.ErrNotExist)
 	}
 	return io.NopCloser(strings.NewReader(string(data))), nil
 }

@@ -7,12 +7,14 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/compress"
 )
 
-// Record format inside epoch-%08d.pages:
+// Record format inside epoch-%08d.pages (and base-%08d-%08d.pages):
 //
 //	magic   uint32  'AICP'
 //	page    uint32
@@ -28,7 +30,8 @@ const recordMagic = 0x41494350 // "AICP"
 func segmentName(epoch uint64) string  { return fmt.Sprintf("epoch-%08d.pages", epoch) }
 func manifestName(epoch uint64) string { return fmt.Sprintf("epoch-%08d.json", epoch) }
 
-// Manifest describes one sealed epoch.
+// Manifest describes one sealed epoch (or, with Base set, one consolidated
+// base segment).
 type Manifest struct {
 	Epoch      uint64 `json:"epoch"`
 	PageSize   int    `json:"page_size"`
@@ -38,28 +41,186 @@ type Manifest struct {
 	// of the epoch (0 = none); restore decodes transparently.
 	Codec uint8 `json:"codec,omitempty"`
 	Pages []int `json:"pages"`
+	// Format is the manifest format version: 0 (absent) is the v1 format,
+	// FormatV2 adds Hashes, Refs and Base.
+	Format int `json:"format,omitempty"`
+	// Hashes holds the FNV-64a hash of the raw (uncompressed) content of
+	// Pages[i]; the dedup index is rebuilt from it after a restart.
+	Hashes []uint64 `json:"hashes,omitempty"`
+	// Refs lists the pages of the epoch elided by content-addressed dedup:
+	// their content is bit-identical to an earlier physical record.
+	Refs []PageRef `json:"refs,omitempty"`
+	// Base marks a consolidated base segment covering an epoch range.
+	Base *BaseRange `json:"base,omitempty"`
+}
+
+// DedupCount returns the number of pages the epoch elided via dedup.
+func (m *Manifest) DedupCount() int { return len(m.Refs) }
+
+// DedupRatio returns the fraction of the epoch's dirty pages that were
+// elided via dedup (0 when the epoch wrote nothing).
+func (m *Manifest) DedupRatio() float64 {
+	total := m.PageCount + len(m.Refs)
+	if total == 0 {
+		return 0
+	}
+	return float64(len(m.Refs)) / float64(total)
+}
+
+// segmentWriter streams self-checking records into a segment file and
+// accumulates the manifest bookkeeping. It is shared by the repository's
+// streaming epoch path and the compactor's base writer.
+type segmentWriter struct {
+	pageSize int
+	codec    uint8
+	f        io.WriteCloser
+	buf      *bufio.Writer
+}
+
+func (w *segmentWriter) begin(f io.WriteCloser) error {
+	w.f = f
+	w.buf = bufio.NewWriter(f)
+	return nil
+}
+
+// writeRecord encodes one page record (applying the codec) and updates the
+// manifest. rawHash is the FNV-64a hash of data before encoding.
+func (w *segmentWriter) writeRecord(man *Manifest, page int, data []byte, rawHash uint64) error {
+	if compress.Codec(w.codec) != compress.None {
+		data = compress.Encode(compress.Codec(w.codec), data)
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	var hdr [20]byte
+	binary.LittleEndian.PutUint32(hdr[0:], recordMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(page))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(data)))
+	binary.LittleEndian.PutUint64(hdr[12:], h.Sum64())
+	if _, err := w.buf.Write(hdr[:]); err != nil {
+		return fmt.Errorf("write header: %w", err)
+	}
+	if _, err := w.buf.Write(data); err != nil {
+		return fmt.Errorf("write payload: %w", err)
+	}
+	man.PageCount++
+	man.TotalBytes += int64(len(hdr)) + int64(len(data))
+	man.Pages = append(man.Pages, page)
+	man.Hashes = append(man.Hashes, rawHash)
+	return nil
+}
+
+func (w *segmentWriter) finish() error {
+	if err := w.buf.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("flush: %w", err)
+	}
+	return w.f.Close()
+}
+
+func (w *segmentWriter) abort() {
+	if w.f != nil {
+		w.f.Close()
+	}
+}
+
+// writeManifestFile encodes a manifest to name; closing the file is the
+// commit point of the epoch or base it describes.
+func writeManifestFile(fs FS, name string, m *Manifest) error {
+	f, err := fs.Create(name)
+	if err != nil {
+		return fmt.Errorf("ckpt: create manifest: %w", err)
+	}
+	if err := json.NewEncoder(f).Encode(m); err != nil {
+		f.Close()
+		return fmt.Errorf("ckpt: encode manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("ckpt: close manifest: %w", err)
+	}
+	return nil
+}
+
+func decodeManifestFile(fs FS, name string) (Manifest, error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("ckpt: open %s: %w", name, err)
+	}
+	defer f.Close()
+	var m Manifest
+	if err := json.NewDecoder(f).Decode(&m); err != nil {
+		return Manifest{}, fmt.Errorf("ckpt: manifest %s corrupt: %w", name, err)
+	}
+	return m, nil
+}
+
+func sortManifests(ms []Manifest) {
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Epoch < ms[j].Epoch })
+}
+
+func sortedPageIDs(pages map[int][]byte) []int {
+	ids := make([]int, 0, len(pages))
+	for id := range pages {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// pageIdx is one dedup-index entry: the newest committed content of a page.
+type pageIdx struct {
+	hash    uint64 // FNV-64a of the raw content
+	epoch   uint64 // epoch whose segment physically holds it
+	hasHash bool   // false for content recorded by v1 manifests (no hash)
+}
+
+// DedupStats counts the repository's content-addressed dedup activity since
+// it was opened.
+type DedupStats struct {
+	// PagesStored / BytesStored count physical segment records written.
+	PagesStored int
+	BytesStored int64
+	// PagesDeduped / BytesDeduped count page writes elided because the
+	// content matched the newest chain entry (recorded as Refs).
+	PagesDeduped int
+	BytesDeduped int64
 }
 
 // Repository stores checkpoint epochs on an FS. It implements
 // storage.Backend so the page manager can commit straight into it.
+//
+// Repositories write format-v2 manifests: every stored page carries a
+// content hash, and pages whose content is bit-identical to the newest
+// chain entry are deduplicated — recorded as a manifest Ref instead of a
+// segment record. The dedup index is rebuilt from the chain's manifests on
+// first use, so a restarted process keeps deduplicating against the
+// existing chain. Dedup trusts the 64-bit FNV-1a content hash (as in
+// hash-based differential checkpointing); a collision between two distinct
+// page images is vanishingly unlikely (~2^-64 per pair) but not impossible.
 type Repository struct {
 	fs       FS
 	pageSize int
 	codec    compress.Codec
+	dedup    bool
 
 	mu      sync.Mutex
-	cur     io.WriteCloser
-	curBuf  *bufio.Writer
+	w       *segmentWriter // nil until the epoch's first physical record
 	curMan  Manifest
 	curOpen bool
+
+	index       map[int]pageIdx // newest sealed content per page
+	pending     map[int]pageIdx // current open epoch; merged into index at seal
+	indexLoaded bool
+	sizeChecked bool // existing chain's page size validated against ours
+	stats       DedupStats
 }
 
-// NewRepository returns a repository writing pageSize-sized pages to fs.
+// NewRepository returns a repository writing pageSize-sized pages to fs,
+// with content-addressed dedup enabled.
 func NewRepository(fs FS, pageSize int) *Repository {
 	if pageSize <= 0 {
 		panic("ckpt: non-positive page size")
 	}
-	return &Repository{fs: fs, pageSize: pageSize}
+	return &Repository{fs: fs, pageSize: pageSize, dedup: true}
 }
 
 // SetCodec enables payload compression for all subsequently written epochs
@@ -75,13 +236,107 @@ func (r *Repository) SetCodec(c compress.Codec) {
 	r.codec = c
 }
 
+// SetDedup enables or disables content-addressed dedup for subsequently
+// written epochs (enabled by default). Must not be called while an epoch is
+// open.
+func (r *Repository) SetDedup(enabled bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.curOpen {
+		panic("ckpt: SetDedup with an open epoch")
+	}
+	r.dedup = enabled
+}
+
 // PageSize returns the page size the repository was created with.
 func (r *Repository) PageSize() int { return r.pageSize }
+
+// DedupStats returns the dedup counters accumulated since the repository
+// was opened.
+func (r *Repository) DedupStats() DedupStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// loadIndexLocked rebuilds the dedup index from the chain's manifests (no
+// segment reads: v2 manifests carry content hashes). Pages recorded by v1
+// manifests enter the index without a hash and are never deduplicated
+// against — their first rewrite stores physically and upgrades them.
+func (r *Repository) loadIndexLocked() error {
+	ch, err := LoadChain(r.fs)
+	if err != nil {
+		return err
+	}
+	if ch.PageSize != 0 && ch.PageSize != r.pageSize {
+		return fmt.Errorf("ckpt: repository chain has page size %d, repository opened with %d", ch.PageSize, r.pageSize)
+	}
+	r.index = make(map[int]pageIdx)
+	fold := func(m Manifest) {
+		hasHashes := m.Format >= FormatV2 && len(m.Hashes) == len(m.Pages)
+		for i, p := range m.Pages {
+			e := pageIdx{epoch: m.Epoch}
+			if hasHashes {
+				e.hash, e.hasHash = m.Hashes[i], true
+			}
+			r.index[p] = e
+		}
+		for _, ref := range m.Refs {
+			r.index[ref.Page] = pageIdx{hash: ref.Hash, epoch: ref.Epoch, hasHash: true}
+		}
+	}
+	if ch.Base != nil {
+		fold(*ch.Base)
+	}
+	for _, m := range ch.Epochs {
+		fold(m)
+	}
+	r.indexLoaded = true
+	r.sizeChecked = true
+	return nil
+}
+
+// checkChainPageSizeLocked is the dedup-off counterpart of the index
+// load's validation: one manifest decode (the newest chain entry) instead
+// of the whole chain, so a repository opened at the wrong granularity
+// still refuses to extend the chain.
+func (r *Repository) checkChainPageSizeLocked() error {
+	if r.sizeChecked {
+		return nil
+	}
+	names, err := r.fs.List()
+	if err != nil {
+		return fmt.Errorf("ckpt: list: %w", err)
+	}
+	var pick string
+	for _, n := range names {
+		// Sorted names put base-* before epoch-*, so the newest epoch
+		// manifest wins whenever one exists.
+		if (strings.HasPrefix(n, "epoch-") || strings.HasPrefix(n, "base-")) && strings.HasSuffix(n, ".json") {
+			pick = n
+		}
+	}
+	if pick != "" {
+		m, err := decodeManifestFile(r.fs, pick)
+		if err != nil {
+			if strings.HasPrefix(pick, "epoch-") {
+				return err
+			}
+			// A torn base manifest is an ignorable crash artifact.
+		} else if m.PageSize != r.pageSize {
+			return fmt.Errorf("ckpt: repository chain has page size %d, repository opened with %d", m.PageSize, r.pageSize)
+		}
+	}
+	r.sizeChecked = true
+	return nil
+}
 
 // WritePage implements storage.Backend. Pages of an epoch may arrive in any
 // order; the first page of a new epoch opens its segment. data must be
 // non-nil (the repository stores real content; phantom simulations use the
-// timing backends instead).
+// timing backends instead). A page whose content hash matches the newest
+// chain entry is deduplicated: no segment record is written, only a
+// manifest Ref.
 func (r *Repository) WritePage(epoch uint64, page int, data []byte, size int) error {
 	if data == nil {
 		return fmt.Errorf("ckpt: nil page data for page %d (phantom writes not storable)", page)
@@ -95,72 +350,84 @@ func (r *Repository) WritePage(epoch uint64, page int, data []byte, size int) er
 		return fmt.Errorf("ckpt: page for epoch %d while epoch %d is open", epoch, r.curMan.Epoch)
 	}
 	if !r.curOpen {
+		if r.dedup && !r.indexLoaded {
+			if err := r.loadIndexLocked(); err != nil {
+				return err
+			}
+		} else if err := r.checkChainPageSizeLocked(); err != nil {
+			return err
+		}
+		r.curMan = Manifest{Epoch: epoch, PageSize: r.pageSize, Codec: uint8(r.codec), Format: FormatV2}
+		if r.dedup {
+			r.pending = make(map[int]pageIdx)
+		}
+		r.curOpen = true
+	}
+	rawHash := contentHash(data)
+	if r.dedup {
+		prev, ok := r.pending[page]
+		if !ok {
+			prev, ok = r.index[page]
+		}
+		if ok && prev.hasHash && prev.hash == rawHash {
+			r.curMan.Refs = append(r.curMan.Refs, PageRef{Page: page, Epoch: prev.epoch, Hash: rawHash})
+			r.pending[page] = prev
+			r.stats.PagesDeduped++
+			r.stats.BytesDeduped += int64(size)
+			return nil
+		}
+	}
+	if r.w == nil {
 		f, err := r.fs.Create(segmentName(epoch))
 		if err != nil {
 			return fmt.Errorf("ckpt: create segment: %w", err)
 		}
-		r.cur = f
-		r.curBuf = bufio.NewWriter(f)
-		r.curMan = Manifest{Epoch: epoch, PageSize: r.pageSize, Codec: uint8(r.codec)}
-		r.curOpen = true
+		r.w = &segmentWriter{pageSize: r.pageSize, codec: uint8(r.codec)}
+		if err := r.w.begin(f); err != nil {
+			return err
+		}
 	}
-	if r.codec != compress.None {
-		data = compress.Encode(r.codec, data)
-		size = len(data)
+	if err := r.w.writeRecord(&r.curMan, page, data, rawHash); err != nil {
+		return fmt.Errorf("ckpt: %w", err)
 	}
-	h := fnv.New64a()
-	h.Write(data)
-	var hdr [20]byte
-	binary.LittleEndian.PutUint32(hdr[0:], recordMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(page))
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(size))
-	binary.LittleEndian.PutUint64(hdr[12:], h.Sum64())
-	if _, err := r.curBuf.Write(hdr[:]); err != nil {
-		return fmt.Errorf("ckpt: write header: %w", err)
+	if r.pending != nil {
+		r.pending[page] = pageIdx{hash: rawHash, epoch: epoch, hasHash: true}
 	}
-	if _, err := r.curBuf.Write(data); err != nil {
-		return fmt.Errorf("ckpt: write payload: %w", err)
-	}
-	r.curMan.PageCount++
-	r.curMan.TotalBytes += int64(len(hdr)) + int64(size)
-	r.curMan.Pages = append(r.curMan.Pages, page)
+	r.stats.PagesStored++
+	r.stats.BytesStored += int64(size)
 	return nil
 }
 
 // EndEpoch implements storage.Backend: it flushes the segment and writes the
-// manifest, sealing the epoch.
+// manifest, sealing the epoch. Dedup index updates commit here — an aborted
+// epoch leaves the index untouched, so later dedup decisions only ever
+// reference sealed content.
 func (r *Repository) EndEpoch(epoch uint64) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if !r.curOpen {
 		// An epoch with zero dirty pages still seals (empty manifest) so
 		// restore knows the checkpoint completed.
-		r.curMan = Manifest{Epoch: epoch, PageSize: r.pageSize}
+		r.curMan = Manifest{Epoch: epoch, PageSize: r.pageSize, Format: FormatV2}
 	} else if r.curMan.Epoch != epoch {
 		return fmt.Errorf("ckpt: sealing epoch %d while epoch %d is open", epoch, r.curMan.Epoch)
 	}
-	if r.curOpen {
-		if err := r.curBuf.Flush(); err != nil {
-			return fmt.Errorf("ckpt: flush segment: %w", err)
-		}
-		if err := r.cur.Close(); err != nil {
-			return fmt.Errorf("ckpt: close segment: %w", err)
+	if r.w != nil {
+		if err := r.w.finish(); err != nil {
+			return fmt.Errorf("ckpt: segment: %w", err)
 		}
 	}
-	mf, err := r.fs.Create(manifestName(epoch))
-	if err != nil {
-		return fmt.Errorf("ckpt: create manifest: %w", err)
+	if err := writeManifestFile(r.fs, manifestName(epoch), &r.curMan); err != nil {
+		return err
 	}
-	enc := json.NewEncoder(mf)
-	if err := enc.Encode(&r.curMan); err != nil {
-		mf.Close()
-		return fmt.Errorf("ckpt: encode manifest: %w", err)
-	}
-	if err := mf.Close(); err != nil {
-		return fmt.Errorf("ckpt: close manifest: %w", err)
+	if r.indexLoaded {
+		for p, e := range r.pending {
+			r.index[p] = e
+		}
 	}
 	r.curOpen = false
-	r.cur, r.curBuf = nil, nil
+	r.w = nil
+	r.pending = nil
 	return nil
 }
 
@@ -169,8 +436,11 @@ func (r *Repository) Abort() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.curOpen {
-		r.cur.Close()
+		if r.w != nil {
+			r.w.abort()
+		}
 		r.curOpen = false
-		r.cur, r.curBuf = nil, nil
+		r.w = nil
+		r.pending = nil
 	}
 }

@@ -2,11 +2,9 @@ package ckpt
 
 import (
 	"encoding/binary"
-	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"io"
-	"sort"
 	"strings"
 
 	"repro/internal/compress"
@@ -20,6 +18,10 @@ type Image struct {
 	PageSize int
 	Epoch    uint64 // newest sealed epoch folded into the image
 	Pages    map[int][]byte
+	// SegmentsRead counts the segments the restore actually parsed; with a
+	// compacted chain it is bounded by the compaction depth rather than the
+	// run length.
+	SegmentsRead int
 }
 
 // PageOr returns the image content of page, or a zero page if it was never
@@ -31,14 +33,20 @@ func (im *Image) PageOr(page int) []byte {
 	return make([]byte, im.PageSize)
 }
 
-// EpochInfo summarizes a sealed epoch for inspection tools.
+// EpochInfo summarizes a sealed epoch or base for inspection tools.
 type EpochInfo struct {
 	Manifest
 	SegmentOK bool   // segment parsed and all hashes verified
 	Err       string // parse/verification failure, if any
+	// Superseded marks entries covered by a newer committed base: they are
+	// ignored by restore and reclaimable by garbage collection.
+	Superseded bool
 }
 
-// sealedEpochs returns the manifests present on fs, sorted by epoch.
+// sealedEpochs returns the epoch manifests present on fs, sorted by epoch.
+// A chain whose manifests disagree on page size is rejected, naming the
+// epoch that diverged — folding mixed-granularity epochs would silently
+// misplace every page of the divergent epochs.
 func sealedEpochs(fs FS) ([]Manifest, error) {
 	names, err := fs.List()
 	if err != nil {
@@ -49,28 +57,29 @@ func sealedEpochs(fs FS) ([]Manifest, error) {
 		if !strings.HasPrefix(n, "epoch-") || !strings.HasSuffix(n, ".json") {
 			continue
 		}
-		f, err := fs.Open(n)
+		m, err := decodeManifestFile(fs, n)
 		if err != nil {
-			return nil, fmt.Errorf("ckpt: open %s: %w", n, err)
-		}
-		var m Manifest
-		err = json.NewDecoder(f).Decode(&m)
-		f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("ckpt: manifest %s corrupt: %w", n, err)
+			return nil, err
 		}
 		ms = append(ms, m)
 	}
-	sort.Slice(ms, func(i, j int) bool { return ms[i].Epoch < ms[j].Epoch })
+	sortManifests(ms)
+	for _, m := range ms {
+		if m.PageSize != ms[0].PageSize {
+			return nil, fmt.Errorf("ckpt: epoch %d has page size %d, chain uses %d: mixed-granularity chain is not restorable",
+				m.Epoch, m.PageSize, ms[0].PageSize)
+		}
+	}
 	return ms, nil
 }
 
-// readSegment parses one epoch's segment and calls visit for every record.
+// readSegment parses one manifest's segment (epoch or base) and calls visit
+// for every record.
 func readSegment(fs FS, m Manifest, visit func(page int, data []byte)) error {
 	if m.PageCount == 0 {
 		return nil
 	}
-	f, err := fs.Open(segmentName(m.Epoch))
+	f, err := fs.Open(segmentFile(m))
 	if err != nil {
 		return fmt.Errorf("ckpt: epoch %d sealed but segment missing: %w", m.Epoch, err)
 	}
@@ -125,28 +134,45 @@ func readSegment(fs FS, m Manifest, visit func(page int, data []byte)) error {
 	return nil
 }
 
-// Restore folds all sealed epochs (oldest to newest, newest content wins)
-// into a memory image. Unsealed segments — a checkpoint interrupted by a
-// crash — are ignored, which is exactly the recovery semantics of
-// asynchronous checkpointing: the restart point is the last *completed*
-// checkpoint.
+// VisitSegment parses one manifest's segment (epoch or base), verifying
+// record integrity and decoding transparently, and calls visit for every
+// record. The compactor uses it to fold epoch ranges.
+func VisitSegment(fs FS, m Manifest, visit func(page int, data []byte)) error {
+	return readSegment(fs, m, visit)
+}
+
+// Restore folds the chain (newest committed base, then every live sealed
+// epoch, oldest to newest, newest content wins) into a memory image.
+// Unsealed segments — a checkpoint or compaction interrupted by a crash —
+// are ignored, which is exactly the recovery semantics of asynchronous
+// checkpointing: the restart point is the last *completed* checkpoint. With
+// a compacted chain the fold reads at most depth segments (the base plus
+// the epochs after it) instead of the whole history.
 func Restore(fs FS) (*Image, error) {
-	ms, err := sealedEpochs(fs)
+	ch, err := LoadChain(fs)
 	if err != nil {
 		return nil, err
 	}
-	if len(ms) == 0 {
+	if ch.Base == nil && len(ch.Epochs) == 0 {
 		return nil, fmt.Errorf("ckpt: no sealed epochs to restore from")
 	}
-	im := &Image{PageSize: ms[0].PageSize, Pages: map[int][]byte{}}
-	for _, m := range ms {
-		if m.PageSize != im.PageSize {
-			return nil, fmt.Errorf("ckpt: epoch %d page size %d != %d", m.Epoch, m.PageSize, im.PageSize)
+	im := &Image{PageSize: ch.PageSize, Pages: map[int][]byte{}}
+	fold := func(m Manifest) error {
+		if m.PageCount > 0 {
+			im.SegmentsRead++
 		}
-		err := readSegment(fs, m, func(page int, data []byte) {
+		return readSegment(fs, m, func(page int, data []byte) {
 			im.Pages[page] = data
 		})
-		if err != nil {
+	}
+	if ch.Base != nil {
+		if err := fold(*ch.Base); err != nil {
+			return nil, err
+		}
+		im.Epoch = ch.Base.Base.To
+	}
+	for _, m := range ch.Epochs {
+		if err := fold(m); err != nil {
 			return nil, err
 		}
 		im.Epoch = m.Epoch
@@ -156,27 +182,25 @@ func Restore(fs FS) (*Image, error) {
 
 // ListSealed returns the manifests of all sealed epochs on fs, sorted by
 // epoch. Multi-level tier drains use it to enumerate what a tier holds.
+// Epochs already folded into a base (and garbage-collected) are absent.
 func ListSealed(fs FS) ([]Manifest, error) { return sealedEpochs(fs) }
 
 // ReadManifest returns the manifest of one sealed epoch, or an error when
 // the epoch is not sealed on fs.
 func ReadManifest(fs FS, epoch uint64) (Manifest, error) {
-	f, err := fs.Open(manifestName(epoch))
+	m, err := decodeManifestFile(fs, manifestName(epoch))
 	if err != nil {
 		return Manifest{}, fmt.Errorf("ckpt: epoch %d not sealed: %w", epoch, err)
-	}
-	defer f.Close()
-	var m Manifest
-	if err := json.NewDecoder(f).Decode(&m); err != nil {
-		return Manifest{}, fmt.Errorf("ckpt: manifest for epoch %d corrupt: %w", epoch, err)
 	}
 	return m, nil
 }
 
 // EpochPages reads one sealed epoch back in full, verifying record
-// integrity, and returns its manifest plus a page→content map. The
-// multi-level drainer uses it to promote a sealed epoch from the fast tier
-// to slower, more resilient tiers.
+// integrity, and returns its manifest plus a page→content map of its
+// *physical* records (deduplicated pages are listed in the manifest's Refs
+// but carry no data — the content they reference is already in the chain).
+// The multi-level drainer uses it to promote a sealed epoch from the fast
+// tier to slower, more resilient tiers.
 func EpochPages(fs FS, epoch uint64) (Manifest, map[int][]byte, error) {
 	m, err := ReadManifest(fs, epoch)
 	if err != nil {
@@ -191,35 +215,49 @@ func EpochPages(fs FS, epoch uint64) (Manifest, map[int][]byte, error) {
 	return m, pages, nil
 }
 
-// LastSealedEpoch returns the newest sealed epoch number, or ok=false when
-// the repository holds no sealed epochs. Restarted runtimes use it to
-// continue epoch numbering.
+// LastSealedEpoch returns the newest sealed epoch number — through live
+// epochs or a committed base — or ok=false when the repository holds no
+// sealed state. Restarted runtimes use it to continue epoch numbering; it
+// must account for bases because a fully compacted chain has no epoch
+// files left, and restarting the numbering below the base would corrupt
+// the chain.
 func LastSealedEpoch(fs FS) (epoch uint64, ok bool, err error) {
-	ms, err := sealedEpochs(fs)
+	ch, err := LoadChain(fs)
 	if err != nil {
 		return 0, false, err
 	}
-	if len(ms) == 0 {
-		return 0, false, nil
-	}
-	return ms[len(ms)-1].Epoch, true, nil
+	epoch, ok = ch.LastEpoch()
+	return epoch, ok, nil
 }
 
-// Inspect verifies every sealed epoch and reports per-epoch health; it is
-// the engine behind cmd/ckpt-inspect.
+// Inspect verifies every chain entry — live epochs, the committed base, and
+// not-yet-collected superseded entries — and reports per-entry health; it
+// is the engine behind cmd/ckpt-inspect.
 func Inspect(fs FS) ([]EpochInfo, error) {
-	ms, err := sealedEpochs(fs)
+	ch, err := LoadChain(fs)
 	if err != nil {
 		return nil, err
 	}
-	infos := make([]EpochInfo, 0, len(ms))
-	for _, m := range ms {
-		info := EpochInfo{Manifest: m, SegmentOK: true}
+	var infos []EpochInfo
+	add := func(m Manifest, superseded bool) {
+		info := EpochInfo{Manifest: m, SegmentOK: true, Superseded: superseded}
 		if err := readSegment(fs, m, func(int, []byte) {}); err != nil {
 			info.SegmentOK = false
 			info.Err = err.Error()
 		}
 		infos = append(infos, info)
+	}
+	for _, m := range ch.StaleBases {
+		add(m, true)
+	}
+	for _, m := range ch.Superseded {
+		add(m, true)
+	}
+	if ch.Base != nil {
+		add(*ch.Base, false)
+	}
+	for _, m := range ch.Epochs {
+		add(m, false)
 	}
 	return infos, nil
 }

@@ -1,0 +1,250 @@
+package compact
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/sim"
+)
+
+func fillPage(b byte, size int) []byte {
+	p := make([]byte, size)
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+// writeChain seals epochs 1..n, each dirtying a rolling window of pages so
+// later epochs shadow earlier content.
+func writeChain(t *testing.T, fs ckpt.FS, pageSize, n int) {
+	t.Helper()
+	r := ckpt.NewRepository(fs, pageSize)
+	for e := 1; e <= n; e++ {
+		for p := e % 4; p < e%4+3; p++ {
+			if err := r.WritePage(uint64(e), p, fillPage(byte(e*16+p), pageSize), pageSize); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := r.EndEpoch(uint64(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func imagesEqual(a, b *ckpt.Image) bool {
+	if a.Epoch != b.Epoch || len(a.Pages) != len(b.Pages) {
+		return false
+	}
+	for p, d := range a.Pages {
+		if !bytes.Equal(b.Pages[p], d) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRunOnceFoldsAndBoundsRestore(t *testing.T) {
+	fs := &ckpt.MemFS{}
+	const pageSize = 32
+	writeChain(t, fs, pageSize, 12)
+	before, err := ckpt.Restore(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.SegmentsRead != 12 {
+		t.Fatalf("uncompacted restore read %d segments", before.SegmentsRead)
+	}
+
+	cfg := Config{FS: fs, PageSize: pageSize, Policy: Policy{MaxDepth: 4}}
+	res, err := RunOnce(cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Compacted || res.EpochsFolded != 10 || res.BaseFrom != 1 || res.BaseTo != 10 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.LiveSegments > 4 {
+		t.Fatalf("live segments = %d, want <= 4", res.LiveSegments)
+	}
+
+	after, err := ckpt.Restore(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !imagesEqual(before, after) {
+		t.Fatal("compacted restore is not bit-identical")
+	}
+	if after.SegmentsRead > 4 {
+		t.Fatalf("compacted restore read %d segments", after.SegmentsRead)
+	}
+	// The folded epoch files are gone.
+	if _, _, err := ckpt.EpochPages(fs, 1); err == nil {
+		t.Fatal("folded epoch 1 still present after GC")
+	}
+	// The restart point survives compaction.
+	if last, ok, err := ckpt.LastSealedEpoch(fs); err != nil || !ok || last != 12 {
+		t.Fatalf("LastSealedEpoch = %d %v %v", last, ok, err)
+	}
+}
+
+func TestRunOnceRespectsPolicyAndCanFold(t *testing.T) {
+	fs := &ckpt.MemFS{}
+	const pageSize = 16
+	writeChain(t, fs, pageSize, 4)
+	// Depth not exceeded: nothing happens.
+	res, err := RunOnce(Config{FS: fs, PageSize: pageSize, Policy: Policy{MaxDepth: 8}}, false)
+	if err != nil || res.Compacted {
+		t.Fatalf("res = %+v err = %v", res, err)
+	}
+	// CanFold holds back everything past epoch 2: only [1,2] folds.
+	res, err = RunOnce(Config{
+		FS: fs, PageSize: pageSize,
+		Policy:  Policy{MaxDepth: 2},
+		CanFold: func(e uint64) bool { return e <= 2 },
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Compacted || res.BaseTo != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRunOnceForceFoldsEverything(t *testing.T) {
+	fs := &ckpt.MemFS{}
+	const pageSize = 16
+	writeChain(t, fs, pageSize, 7)
+	before, _ := ckpt.Restore(fs)
+	res, err := RunOnce(Config{FS: fs, PageSize: pageSize}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Compacted || res.BaseTo != 7 || res.LiveSegments != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	after, err := ckpt.Restore(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !imagesEqual(before, after) {
+		t.Fatal("forced compaction changed the image")
+	}
+	// Repeated compaction over an existing base keeps folding.
+	r := ckpt.NewRepository(fs, pageSize)
+	for e := 8; e <= 9; e++ {
+		if err := r.WritePage(uint64(e), 0, fillPage(byte(e), pageSize), pageSize); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.EndEpoch(uint64(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err = RunOnce(Config{FS: fs, PageSize: pageSize}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Compacted || res.BaseFrom != 1 || res.BaseTo != 9 || res.LiveSegments != 1 {
+		t.Fatalf("re-fold res = %+v", res)
+	}
+}
+
+func TestCompactorBackgroundLoop(t *testing.T) {
+	fs := &ckpt.MemFS{}
+	const pageSize = 32
+	c := NewCompactor(sim.NewRealEnv(), Config{FS: fs, PageSize: pageSize, Policy: Policy{MaxDepth: 3}})
+	defer c.Close()
+	r := ckpt.NewRepository(fs, pageSize)
+	for e := 1; e <= 10; e++ {
+		for p := 0; p < 4; p++ {
+			if err := r.WritePage(uint64(e), p, fillPage(byte(e+p), pageSize), pageSize); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := r.EndEpoch(uint64(e)); err != nil {
+			t.Fatal(err)
+		}
+		c.Kick()
+	}
+	// A forced pass both flushes any backlog and proves CompactNow.
+	res, err := c.CompactNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LiveSegments != 1 {
+		t.Fatalf("live segments = %d", res.LiveSegments)
+	}
+	st := c.Stats()
+	if st.Runs == 0 || st.Compactions == 0 || st.EpochsFolded == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	im, err := ckpt.Restore(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Epoch != 10 || im.SegmentsRead != 1 {
+		t.Fatalf("image epoch %d, segments %d", im.Epoch, im.SegmentsRead)
+	}
+}
+
+func TestCompactorUnderVirtualKernel(t *testing.T) {
+	k := sim.NewKernel()
+	fs := &ckpt.MemFS{}
+	const pageSize = 16
+	var imEpoch uint64
+	k.Go("app", func() {
+		c := NewCompactor(k, Config{FS: fs, PageSize: pageSize, Policy: Policy{MaxDepth: 2}})
+		r := ckpt.NewRepository(fs, pageSize)
+		for e := 1; e <= 6; e++ {
+			if err := r.WritePage(uint64(e), 0, fillPage(byte(e), pageSize), pageSize); err != nil {
+				panic(err)
+			}
+			if err := r.EndEpoch(uint64(e)); err != nil {
+				panic(err)
+			}
+			c.Kick()
+			k.Sleep(0) // let the compactor process run
+		}
+		if _, err := c.CompactNow(); err != nil {
+			panic(err)
+		}
+		c.Close()
+		im, err := ckpt.Restore(fs)
+		if err != nil {
+			panic(err)
+		}
+		imEpoch = im.Epoch
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if imEpoch != 6 {
+		t.Fatalf("restored epoch = %d", imEpoch)
+	}
+}
+
+func TestAmplificationTrigger(t *testing.T) {
+	fs := &ckpt.MemFS{}
+	const pageSize = 64
+	r := ckpt.NewRepository(fs, pageSize)
+	r.SetDedup(false) // every epoch rewrites the same page: pure amplification
+	for e := 1; e <= 6; e++ {
+		if err := r.WritePage(uint64(e), 0, fillPage(7, pageSize), pageSize); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.EndEpoch(uint64(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := RunOnce(Config{FS: fs, PageSize: pageSize, Policy: Policy{MaxAmplification: 2, KeepRecent: 1}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Compacted {
+		t.Fatalf("amplified chain not compacted: %+v", res)
+	}
+	if res.BytesReclaimed == 0 {
+		t.Fatal("no bytes reclaimed")
+	}
+}

@@ -1,0 +1,147 @@
+package compact
+
+import (
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Stats accumulates a compactor's lifetime activity.
+type Stats struct {
+	// Runs counts compaction passes executed (kicks coalesce: a burst of
+	// seals can be served by one pass).
+	Runs int
+	// Compactions counts passes that committed a new base.
+	Compactions int
+	// EpochsFolded is the total number of epochs folded into bases.
+	EpochsFolded int
+	// BytesWritten is the total size of base segments written.
+	BytesWritten int64
+	// BytesReclaimed / FilesRemoved count garbage collected.
+	BytesReclaimed int64
+	FilesRemoved   int
+	// LiveSegments is the chain length after the last pass.
+	LiveSegments int
+	// LastErr is the message of the most recent failed pass ("" when the
+	// last pass succeeded). A failed pass is retried on the next kick.
+	LastErr string
+}
+
+// Compactor runs compaction passes in a background process driven through
+// sim.Env, like the page manager's committer: under the real clock it is a
+// goroutine, under the virtual-time kernel a deterministic process. Seals
+// kick it; CompactNow runs a forced synchronous pass. Passes never overlap.
+type Compactor struct {
+	env sim.Env
+	cfg Config
+
+	mu      sync.Locker
+	wake    sim.Cond
+	done    sim.Cond
+	kicked  bool
+	closing bool
+	exited  bool
+	running bool
+	stats   Stats
+}
+
+// NewCompactor starts the background compaction process. Close it before a
+// virtual-time kernel run ends.
+func NewCompactor(env sim.Env, cfg Config) *Compactor {
+	c := &Compactor{env: env, cfg: cfg}
+	c.mu = env.NewMutex()
+	c.wake = env.NewCond(c.mu)
+	c.done = env.NewCond(c.mu)
+	env.Go("compactor", c.loop)
+	return c
+}
+
+// Kick nudges the background process to evaluate the policy (called after
+// every epoch seal and whenever an epoch finishes draining). Kicks arriving
+// during a pass coalesce into one follow-up pass.
+func (c *Compactor) Kick() {
+	c.mu.Lock()
+	if !c.closing {
+		c.kicked = true
+		c.wake.Signal()
+	}
+	c.mu.Unlock()
+}
+
+// CompactNow runs one forced pass synchronously: it folds every foldable
+// epoch regardless of policy thresholds and collects the garbage, then
+// returns the pass result. It serializes with the background process.
+func (c *Compactor) CompactNow() (Result, error) {
+	return c.runPass(true)
+}
+
+// Stats returns the compactor's lifetime counters.
+func (c *Compactor) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Close stops the background process after any in-flight pass completes.
+func (c *Compactor) Close() {
+	c.mu.Lock()
+	c.closing = true
+	c.wake.Broadcast()
+	for !c.exited {
+		c.done.Wait()
+	}
+	c.mu.Unlock()
+}
+
+func (c *Compactor) loop() {
+	for {
+		c.mu.Lock()
+		for !c.kicked && !c.closing {
+			c.wake.Wait()
+		}
+		// A kick pending at close time is still served (one bounded final
+		// pass), so every seal is eventually evaluated.
+		if !c.kicked {
+			c.exited = true
+			c.done.Broadcast()
+			c.mu.Unlock()
+			return
+		}
+		c.kicked = false
+		c.mu.Unlock()
+		c.runPass(false)
+	}
+}
+
+// runPass executes one pass, serializing against concurrent passes via the
+// running flag.
+func (c *Compactor) runPass(force bool) (Result, error) {
+	c.mu.Lock()
+	for c.running {
+		c.done.Wait()
+	}
+	c.running = true
+	c.mu.Unlock()
+
+	res, err := RunOnce(c.cfg, force)
+
+	c.mu.Lock()
+	c.running = false
+	c.stats.Runs++
+	if err != nil {
+		c.stats.LastErr = err.Error()
+	} else {
+		c.stats.LastErr = ""
+		if res.Compacted {
+			c.stats.Compactions++
+			c.stats.EpochsFolded += res.EpochsFolded
+			c.stats.BytesWritten += res.BytesWritten
+		}
+		c.stats.BytesReclaimed += res.BytesReclaimed
+		c.stats.FilesRemoved += res.FilesRemoved
+		c.stats.LiveSegments = res.LiveSegments
+	}
+	c.done.Broadcast()
+	c.mu.Unlock()
+	return res, err
+}

@@ -87,15 +87,28 @@ type Hierarchy struct {
 	workerExit sim.Cond
 	firstErr   error
 	manifests  map[uint64]*EpochManifest
-	epochs     []uint64 // sealed epochs in seal order
+	epochs     []uint64 // sealed epochs in seal order (superseded ones included)
+	superseded map[uint64]bool
+	baseMan    *EpochManifest // tier manifest of the compacted base, if any
+	hasBase    bool
+	baseFrom   uint64
+	baseTo     uint64
+	onSettled  func(epoch uint64) // called (unlocked) when an epoch retires from the pipeline
 }
 
 // drainJob is one epoch moving through the promotion pipeline. data caches
 // the epoch content loaded from L1 so a multi-tier pipeline reads (and
-// hash-verifies) each epoch once, not once per tier.
+// hash-verifies) each epoch once, not once per tier. A base job ships a
+// compacted base segment (as the full image at epoch base.To) to lower
+// tiers that never received the folded epochs.
 type drainJob struct {
 	epoch uint64
 	data  *EpochData
+	base  *ckpt.Manifest // non-nil for base jobs
+	// man pins the tier manifest a base job updates: h.baseMan may be
+	// replaced by a newer compaction while the job is in flight, and the
+	// replacement's Tiers slice need not cover every level this job visits.
+	man *EpochManifest
 }
 
 // New builds a hierarchy and starts its drain workers. Epochs already
@@ -111,12 +124,13 @@ func New(cfg Config) (*Hierarchy, error) {
 		return nil, fmt.Errorf("multilevel: non-positive page size")
 	}
 	h := &Hierarchy{
-		env:       cfg.Env,
-		pageSize:  cfg.PageSize,
-		local:     cfg.Local,
-		lower:     cfg.Lower,
-		policy:    cfg.Drain.withDefaults(),
-		manifests: map[uint64]*EpochManifest{},
+		env:        cfg.Env,
+		pageSize:   cfg.PageSize,
+		local:      cfg.Local,
+		lower:      cfg.Lower,
+		policy:     cfg.Drain.withDefaults(),
+		manifests:  map[uint64]*EpochManifest{},
+		superseded: map[uint64]bool{},
 	}
 	h.mu = h.env.NewMutex()
 	h.idle = h.env.NewCond(h.mu)
@@ -131,14 +145,41 @@ func New(cfg Config) (*Hierarchy, error) {
 	// Recovery scan, before any worker exists (single-threaded here). The
 	// initial enqueue bypasses the queue-depth bound: back-pressure is a
 	// steady-state concern, not a recovery one.
-	sealed, err := ckpt.ListSealed(h.local.FS())
+	ch, err := ckpt.LoadChain(h.local.FS())
 	if err != nil {
 		return nil, fmt.Errorf("multilevel: scan local tier: %w", err)
 	}
-	for _, man := range sealed {
-		if man.PageSize != h.pageSize {
-			return nil, fmt.Errorf("multilevel: local tier epoch %d page size %d != %d", man.Epoch, man.PageSize, h.pageSize)
+	if ch.PageSize != 0 && ch.PageSize != h.pageSize {
+		return nil, fmt.Errorf("multilevel: local tier chain page size %d != %d", ch.PageSize, h.pageSize)
+	}
+	if ch.Base != nil {
+		h.hasBase = true
+		h.baseFrom, h.baseTo = ch.Base.Base.From, ch.Base.Base.To
+		for e := h.baseFrom; e <= h.baseTo; e++ {
+			h.superseded[e] = true
 		}
+		// Epochs the base folded that escaped garbage collection (a crash
+		// between commit and GC): tracked as superseded, never drained.
+		for _, man := range ch.Superseded {
+			m := h.newManifest(man)
+			h.markSupersededLocked(m)
+			h.manifests[man.Epoch] = m
+			h.epochs = append(h.epochs, man.Epoch)
+			h.mirror(m)
+		}
+		// Promote the base itself so lower tiers that never saw the folded
+		// epochs (a fresh, non-durable tier after restart) still end up
+		// holding the full chain content. Tiers that already drained the
+		// folded epochs report Has(base.To) and skip the store.
+		if len(h.lower) > 0 {
+			bm := *ch.Base
+			h.baseMan = h.newBaseManifest(bm)
+			h.pending++
+			h.queues[0] = append(h.queues[0], drainJob{epoch: bm.Epoch, base: &bm, man: h.baseMan})
+			h.mirror(h.baseMan)
+		}
+	}
+	for _, man := range ch.Epochs {
 		m := h.newManifest(man)
 		h.manifests[man.Epoch] = m
 		h.epochs = append(h.epochs, man.Epoch)
@@ -173,16 +214,114 @@ func (h *Hierarchy) newManifest(man ckpt.Manifest) *EpochManifest {
 	return m
 }
 
-// LastEpoch returns the newest sealed epoch the hierarchy knows of
-// (including epochs recovered from a pre-existing local tier), or ok=false
-// when none exist. Restarted runtimes use it to continue epoch numbering.
+// newBaseManifest builds the tier manifest for a compacted base promoted
+// through the hierarchy.
+func (h *Hierarchy) newBaseManifest(man ckpt.Manifest) *EpochManifest {
+	m := h.newManifest(man)
+	if man.Base != nil {
+		b := *man.Base
+		m.Base = &b
+	}
+	return m
+}
+
+// markSupersededLocked flips every tier copy of a manifest to superseded:
+// the epoch's content now travels with the compacted base.
+func (h *Hierarchy) markSupersededLocked(m *EpochManifest) {
+	h.superseded[m.Epoch] = true
+	for i := range m.Tiers {
+		m.Tiers[i].State = StateSuperseded
+		m.Tiers[i].Err = ""
+	}
+}
+
+// LastEpoch returns the newest sealed epoch the hierarchy knows of —
+// through live epochs or a compacted base recovered from a pre-existing
+// local tier — or ok=false when none exist. Restarted runtimes use it to
+// continue epoch numbering.
 func (h *Hierarchy) LastEpoch() (epoch uint64, ok bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.epochs) == 0 {
-		return 0, false
+	if n := len(h.epochs); n > 0 {
+		return h.epochs[n-1], true
 	}
-	return h.epochs[len(h.epochs)-1], true
+	if h.hasBase {
+		return h.baseTo, true
+	}
+	return 0, false
+}
+
+// Settled reports whether an epoch has fully retired from the drain
+// pipeline: every lower tier holds it, or has definitively failed to (the
+// drainer gave up after its retry budget; the failure is surfaced through
+// Err and the tier manifest). The compactor folds only settled epochs, so
+// a compacted base never strands content that exists nowhere below L1.
+func (h *Hierarchy) Settled(epoch uint64) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m, ok := h.manifests[epoch]
+	if !ok {
+		return false
+	}
+	for _, tc := range m.Tiers[1:] {
+		if tc.State == StateDraining {
+			return false
+		}
+	}
+	return true
+}
+
+// SetOnSettled registers a callback invoked (outside the hierarchy lock)
+// whenever an epoch retires from the drain pipeline; the runtime uses it to
+// kick the compactor, whose fold gate is Settled.
+func (h *Hierarchy) SetOnSettled(fn func(epoch uint64)) {
+	h.mu.Lock()
+	h.onSettled = fn
+	h.mu.Unlock()
+}
+
+// MarkSuperseded records that a committed base now covers the epochs in
+// its range: their tier manifests flip to superseded (and are re-mirrored
+// for offline inspection), the drainer stops shipping them, and the base
+// gains its own tier manifest. The compactor calls it between base commit
+// and garbage collection.
+func (h *Hierarchy) MarkSuperseded(base ckpt.Manifest) {
+	if base.Base == nil {
+		return
+	}
+	from, to := base.Base.From, base.Base.To
+	h.mu.Lock()
+	if !h.hasBase || to > h.baseTo {
+		h.hasBase = true
+		h.baseFrom, h.baseTo = from, to
+	}
+	for _, e := range h.epochs {
+		if e < from || e > to {
+			continue
+		}
+		if m, ok := h.manifests[e]; ok && m.Tiers[0].State != StateSuperseded {
+			h.markSupersededLocked(m)
+			h.mirror(m)
+		}
+	}
+	for e := from; e <= to; e++ {
+		h.superseded[e] = true
+	}
+	// The base lives on L1 only: the lower tiers keep the per-epoch copies
+	// they drained before the fold (the fold gate), so it is not promoted
+	// here. A later restart over a fresh lower tier promotes it.
+	if h.baseMan != nil {
+		h.dropMirror(h.baseMan)
+	}
+	h.baseMan = &EpochManifest{
+		Epoch:     to,
+		PageSize:  base.PageSize,
+		PageCount: base.PageCount,
+		Base:      &ckpt.BaseRange{From: from, To: to},
+		Tiers:     []TierCopy{{Tier: h.local.Name(), Level: 0, State: StateStored}},
+	}
+	h.mirror(h.baseMan)
+	h.mu.Unlock()
 }
 
 // PageSize returns the hierarchy's page granularity.
@@ -247,6 +386,12 @@ func (h *Hierarchy) mirror(m *EpochManifest) {
 	_ = writeTierManifest(h.local.FS(), m)
 }
 
+// dropMirror removes a manifest's on-FS mirror (used when a newer base
+// replaces an older one). Callers hold h.mu.
+func (h *Hierarchy) dropMirror(m *EpochManifest) {
+	_ = h.local.FS().Remove(mirrorName(m))
+}
+
 // worker is one drain process for lower tier ti.
 func (h *Hierarchy) worker(ti int) {
 	for {
@@ -274,8 +419,14 @@ func (h *Hierarchy) worker(ti int) {
 // previous tier already did — the loaded content rides along in the job),
 // store it with bounded retries, record the outcome in the tier manifest,
 // and hand the epoch to the next tier (or retire it from the pipeline).
+// Epochs superseded by a compacted base while queued are skipped — their
+// content travels with the base — and base jobs ship the consolidated
+// image under the epoch number the base ends at.
 func (h *Hierarchy) drainOne(ti int, job drainJob) {
 	tier := h.lower[ti]
+	h.mu.Lock()
+	skip := job.base == nil && h.superseded[job.epoch]
+	h.mu.Unlock()
 	var err error
 	// A tier that already holds a healthy copy (restart recovery over a
 	// durable tier) is left untouched: re-storing would truncate-and-
@@ -284,10 +435,18 @@ func (h *Hierarchy) drainOne(ti int, job drainJob) {
 	if holder, ok := tier.(EpochHolder); ok && holder.Has(job.epoch) {
 		held = true
 	}
-	if !held {
+	if !held && !skip {
 		ep := job.data
 		if ep == nil {
-			ep, err = h.local.Load(job.epoch)
+			if job.base != nil {
+				var pages map[int][]byte
+				pages, err = ckpt.ReadBasePages(h.local.FS(), *job.base)
+				if err == nil {
+					ep = newEpochData(job.epoch, h.pageSize, pages)
+				}
+			} else {
+				ep, err = h.local.Load(job.epoch)
+			}
 		}
 		if err == nil {
 			job.data = ep
@@ -302,15 +461,22 @@ func (h *Hierarchy) drainOne(ti int, job drainJob) {
 		}
 	}
 	h.mu.Lock()
-	m := h.manifests[job.epoch]
+	m := job.man
+	if m == nil {
+		m = h.manifests[job.epoch]
+	}
 	tc := &m.Tiers[ti+1]
-	if err != nil {
+	switch {
+	case skip:
+		tc.State = StateSuperseded
+		tc.Err = ""
+	case err != nil:
 		tc.State = StateFailed
 		tc.Err = err.Error()
 		if h.firstErr == nil {
 			h.firstErr = fmt.Errorf("multilevel: drain epoch %d to %s: %w", job.epoch, tier.Name(), err)
 		}
-	} else {
+	default:
 		tc.State = StateStored
 		if dr, ok := tier.(DegradedReporter); ok && dr.Degraded(job.epoch) {
 			tc.State = StateDegraded
@@ -320,15 +486,21 @@ func (h *Hierarchy) drainOne(ti int, job drainJob) {
 		}
 	}
 	h.mirror(m)
+	retired := false
 	if ti+1 < len(h.lower) {
 		h.enqueueLocked(ti+1, job)
 	} else {
 		h.pending--
+		retired = true
 		if h.pending == 0 {
 			h.idle.Broadcast()
 		}
 	}
+	settled := h.onSettled
 	h.mu.Unlock()
+	if retired && settled != nil {
+		settled(job.epoch)
+	}
 }
 
 // WaitDrained blocks until every sealed epoch has moved through the whole
@@ -370,13 +542,23 @@ func (h *Hierarchy) Close() error {
 	return err
 }
 
-// Manifests returns a copy of every epoch's tier manifest, in seal order.
+// Manifests returns a copy of every epoch's tier manifest in seal order,
+// with the compacted base's manifest (when one exists) inserted between
+// the epochs it supersedes and the live epochs after it.
 func (h *Hierarchy) Manifests() []EpochManifest {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	out := make([]EpochManifest, 0, len(h.epochs))
+	out := make([]EpochManifest, 0, len(h.epochs)+1)
+	baseAdded := h.baseMan == nil
 	for _, e := range h.epochs {
+		if !baseAdded && e > h.baseMan.Base.To {
+			out = append(out, h.baseMan.Copy())
+			baseAdded = true
+		}
 		out = append(out, h.manifests[e].Copy())
+	}
+	if !baseAdded {
+		out = append(out, h.baseMan.Copy())
 	}
 	return out
 }

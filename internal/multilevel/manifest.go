@@ -22,6 +22,10 @@ const (
 	StateDegraded = "degraded"
 	// StateFailed: draining to the tier failed after all retries.
 	StateFailed = "failed"
+	// StateSuperseded: the epoch was folded into a compacted base; its own
+	// files are reclaimable and the drainer no longer ships it — the base
+	// carries its content.
+	StateSuperseded = "superseded"
 )
 
 // TierCopy records one tier's relationship to an epoch.
@@ -44,6 +48,9 @@ type EpochManifest struct {
 	PageSize  int        `json:"page_size"`
 	PageCount int        `json:"page_count"`
 	Tiers     []TierCopy `json:"tiers"`
+	// Base marks the manifest of a compacted base segment promoted through
+	// the hierarchy in place of the epochs it folded.
+	Base *ckpt.BaseRange `json:"base,omitempty"`
 }
 
 // Copy returns a deep copy (callers may retain it across manifest updates).
@@ -58,16 +65,30 @@ func (m *EpochManifest) Copy() EpochManifest {
 			out.Tiers[i].Shards = &s
 		}
 	}
+	if m.Base != nil {
+		b := *m.Base
+		out.Base = &b
+	}
 	return out
 }
 
 // tierManifestName is the on-FS mirror of an epoch's tier manifest.
 func tierManifestName(epoch uint64) string { return fmt.Sprintf("tiers-%08d.json", epoch) }
 
+// mirrorName returns the on-FS mirror file of a tier manifest; base
+// manifests get their own name so they never collide with the manifest of
+// the epoch their range ends at.
+func mirrorName(m *EpochManifest) string {
+	if m.Base != nil {
+		return fmt.Sprintf("tiers-base-%08d-%08d.json", m.Base.From, m.Base.To)
+	}
+	return tierManifestName(m.Epoch)
+}
+
 // writeTierManifest mirrors a manifest onto fs (best effort: the in-memory
 // copy is authoritative while the hierarchy lives).
 func writeTierManifest(fs ckpt.FS, m *EpochManifest) error {
-	f, err := fs.Create(tierManifestName(m.Epoch))
+	f, err := fs.Create(mirrorName(m))
 	if err != nil {
 		return err
 	}

@@ -23,11 +23,45 @@ type RestoreStep struct {
 // Restore folds the checkpoint chain back into a memory image, reading
 // each epoch from the fastest tier that can still deliver it: L1 if its
 // files survive, otherwise reconstruction from any k of k+m erasure shards
-// on the peers, otherwise the parallel-file-system copy. Because epochs
-// are incremental, the chain is folded oldest to newest and stops at the
-// first epoch no tier can recover — the restart point is the last epoch of
-// the intact prefix. The returned steps document the per-epoch source.
+// on the peers, otherwise the parallel-file-system copy. A committed base
+// on the local tier is folded first and the epochs it covers are skipped
+// entirely, so a compacted hierarchy restores by reading the base plus the
+// few live epochs instead of the whole history; when the base is lost with
+// the local tier, restore falls back to the per-epoch copies on the lower
+// tiers. Because epochs are incremental, the chain is folded oldest to
+// newest and stops at the first epoch no tier can recover — the restart
+// point is the last epoch of the intact prefix. The returned steps
+// document the per-epoch source.
 func (h *Hierarchy) Restore() (*ckpt.Image, []RestoreStep, error) {
+	im := &ckpt.Image{PageSize: h.pageSize, Pages: map[int][]byte{}}
+	var steps []RestoreStep
+	folded := 0
+
+	// Try the local tier's compacted base first.
+	var skipTo uint64
+	if ch, err := ckpt.LoadChain(h.local.FS()); err == nil && ch.Base != nil {
+		if pages, err := ckpt.ReadBasePages(h.local.FS(), *ch.Base); err == nil {
+			for id, data := range pages {
+				im.Pages[id] = data
+			}
+			skipTo = ch.Base.Base.To
+			im.Epoch = skipTo
+			im.SegmentsRead++
+			folded++
+			steps = append(steps, RestoreStep{
+				Epoch: skipTo,
+				Tier:  h.local.Name(),
+				Detail: fmt.Sprintf("base [%d,%d]: %d epochs folded",
+					ch.Base.Base.From, ch.Base.Base.To, ch.Base.Base.To-ch.Base.Base.From+1),
+			})
+		} else {
+			steps = append(steps, RestoreStep{
+				Epoch:  ch.Base.Base.To,
+				Detail: fmt.Sprintf("base [%d,%d] unreadable, falling back to per-epoch tiers: %v", ch.Base.Base.From, ch.Base.Base.To, err),
+			})
+		}
+	}
+
 	tiers := h.Tiers()
 	seen := map[uint64]bool{}
 	var epochs []uint64
@@ -37,20 +71,20 @@ func (h *Hierarchy) Restore() (*ckpt.Image, []RestoreStep, error) {
 			continue // tier unreadable: its epochs may exist elsewhere
 		}
 		for _, e := range es {
+			if e <= skipTo {
+				continue // covered by the folded base
+			}
 			if !seen[e] {
 				seen[e] = true
 				epochs = append(epochs, e)
 			}
 		}
 	}
-	if len(epochs) == 0 {
+	if len(epochs) == 0 && folded == 0 {
 		return nil, nil, fmt.Errorf("multilevel: no sealed epochs on any tier")
 	}
 	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
 
-	im := &ckpt.Image{PageSize: h.pageSize, Pages: map[int][]byte{}}
-	var steps []RestoreStep
-	folded := 0
 	for _, epoch := range epochs {
 		var fallbacks []string
 		var ep *EpochData
@@ -72,6 +106,7 @@ func (h *Hierarchy) Restore() (*ckpt.Image, []RestoreStep, error) {
 			im.Pages[id] = data
 		}
 		im.Epoch = epoch
+		im.SegmentsRead++
 		folded++
 		steps = append(steps, RestoreStep{Epoch: epoch, Tier: from, Detail: strings.Join(fallbacks, "; ")})
 	}

@@ -126,6 +126,14 @@ func NewLocalTier(env sim.Env, name string, fs ckpt.FS, pageSize int, timing sto
 // Name implements Tier.
 func (t *LocalTier) Name() string { return t.name }
 
+// SetDedup enables or disables content-addressed dedup in the tier's
+// repository (enabled by default). Must be called before any epoch is
+// streamed or stored.
+func (t *LocalTier) SetDedup(enabled bool) { t.repo.SetDedup(enabled) }
+
+// DedupStats returns the tier repository's dedup counters.
+func (t *LocalTier) DedupStats() ckpt.DedupStats { return t.repo.DedupStats() }
+
 // FS exposes the tier's filesystem (inspection and tests).
 func (t *LocalTier) FS() ckpt.FS { return t.fs }
 

@@ -22,6 +22,11 @@ type Image struct {
 // was never checkpointed).
 func (im *Image) Page(id int) []byte { return im.inner.PageOr(id) }
 
+// SegmentsRead reports how many segments the restore parsed. With a
+// compacted chain it is bounded by the compaction depth (the consolidated
+// base plus the epochs after it) instead of growing with run length.
+func (im *Image) SegmentsRead() int { return im.inner.SegmentsRead }
+
 // PageIDs returns the sorted IDs of all pages present in the image.
 func (im *Image) PageIDs() []int {
 	ids := make([]int, 0, len(im.inner.Pages))
@@ -88,12 +93,20 @@ func Inspect(dir string) ([]EpochReport, error) {
 			TotalBytes: in.TotalBytes,
 			Healthy:    in.SegmentOK,
 			Problem:    in.Err,
+			Deduped:    in.DedupCount(),
+			DedupRatio: in.DedupRatio(),
+			Superseded: in.Superseded,
+		}
+		if in.Base != nil {
+			out[i].IsBase = true
+			out[i].BaseFrom, out[i].BaseTo = in.Base.From, in.Base.To
 		}
 	}
 	return out, nil
 }
 
-// EpochReport is the health summary of one sealed epoch.
+// EpochReport is the health summary of one chain entry: a sealed epoch or
+// a consolidated base segment.
 type EpochReport struct {
 	Epoch      uint64
 	PageSize   int
@@ -101,4 +114,63 @@ type EpochReport struct {
 	TotalBytes int64
 	Healthy    bool
 	Problem    string
+	// Deduped counts the epoch's pages elided by content-addressed dedup;
+	// DedupRatio is Deduped over the epoch's total dirty pages.
+	Deduped    int
+	DedupRatio float64
+	// Superseded entries are covered by a newer consolidated base: restore
+	// ignores them and garbage collection will reclaim them.
+	Superseded bool
+	// IsBase marks a consolidated base segment covering [BaseFrom, BaseTo].
+	IsBase           bool
+	BaseFrom, BaseTo uint64
+}
+
+// ChainSummary condenses the repository chain: what restore will read, what
+// compaction has folded, and what garbage collection could still reclaim.
+type ChainSummary struct {
+	PageSize int
+	// LastEpoch is the restart point (through live epochs or the base).
+	LastEpoch uint64
+	// LiveSegments is the number of segments a restore reads.
+	LiveSegments int
+	// HasBase reports a committed consolidated base covering
+	// [BaseFrom, BaseTo].
+	HasBase          bool
+	BaseFrom, BaseTo uint64
+	// LiveBytes is the total segment size of the live chain; Deduped
+	// counts page writes across it elided by dedup; ReclaimableBytes is
+	// the garbage (superseded epochs, stale bases) still on disk.
+	LiveBytes        int64
+	Deduped          int
+	ReclaimableBytes int64
+}
+
+// InspectChain summarizes the chain structure of a repository directory;
+// it backs the ckpt-inspect tool's chain view.
+func InspectChain(dir string) (ChainSummary, error) {
+	fs, err := ckpt.NewOSFS(dir)
+	if err != nil {
+		return ChainSummary{}, err
+	}
+	ch, err := ckpt.LoadChain(fs)
+	if err != nil {
+		return ChainSummary{}, err
+	}
+	sum := ChainSummary{
+		PageSize:         ch.PageSize,
+		LiveSegments:     ch.LiveSegments(),
+		ReclaimableBytes: ch.ReclaimableBytes(),
+	}
+	sum.LastEpoch, _ = ch.LastEpoch()
+	if ch.Base != nil {
+		sum.HasBase = true
+		sum.BaseFrom, sum.BaseTo = ch.Base.Base.From, ch.Base.Base.To
+		sum.LiveBytes += ch.Base.TotalBytes
+	}
+	for _, m := range ch.Epochs {
+		sum.LiveBytes += m.TotalBytes
+		sum.Deduped += m.DedupCount()
+	}
+	return sum, nil
 }
