@@ -33,6 +33,7 @@ package aickpt
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/ckpt"
@@ -78,6 +79,14 @@ func coreStrategy(s Strategy) core.Strategy {
 // backends (the paper's page manager is modular in the same way: POSIX file
 // systems, parallel file systems, cloud repositories). Epochs are sealed by
 // EndEpoch after their last page.
+//
+// With Options.CommitWorkers > 1 the commit pipeline calls WritePage
+// concurrently for pages of the same epoch, so implementations must
+// synchronize shared state. Each page is written at most once per epoch,
+// EndEpoch is never concurrent with that epoch's WritePage calls, and the
+// data slice is only valid until the call returns. Custom Store backends
+// default to the serial committer; set CommitWorkers explicitly once the
+// backend honors this contract.
 type Store interface {
 	WritePage(epoch uint64, page int, data []byte, size int) error
 	EndEpoch(epoch uint64) error
@@ -96,6 +105,17 @@ type Options struct {
 	// DisableCow distinguishes "CowBuffer deliberately zero" from
 	// "CowBuffer left at its default".
 	DisableCow bool
+	// CommitWorkers sizes the parallel commit pipeline: the number of
+	// committer workers flushing dirty pages concurrently during an
+	// asynchronous checkpoint. Each worker pulls the next page in the
+	// adaptive flush order and performs the copy, hash, compression and
+	// storage write in parallel with its peers, so the background flush
+	// scales with the backend's aggregate bandwidth. 0 derives a default
+	// from GOMAXPROCS (capped at 8) — except with a custom Store, which
+	// defaults to 1 until the backend opts into the concurrency contract
+	// (see Store). 1 selects the serial committer of the original design.
+	// Ignored by the Sync strategy.
+	CommitWorkers int
 	// Strategy selects the checkpointing approach (default Adaptive).
 	Strategy Strategy
 	// Dir is the checkpoint repository directory. Exactly one of Dir,
@@ -205,6 +225,21 @@ func New(opts Options) (*Runtime, error) {
 	if opts.CowBuffer < 0 {
 		return nil, fmt.Errorf("aickpt: negative CowBuffer")
 	}
+	if opts.CommitWorkers < 0 {
+		return nil, fmt.Errorf("aickpt: negative CommitWorkers")
+	}
+	if opts.CommitWorkers == 0 {
+		if opts.Store != nil {
+			// A user-supplied backend may predate the concurrency
+			// contract; stay serial unless explicitly opted in.
+			opts.CommitWorkers = 1
+		} else {
+			opts.CommitWorkers = runtime.GOMAXPROCS(0)
+			if opts.CommitWorkers > 8 {
+				opts.CommitWorkers = 8
+			}
+		}
+	}
 	set := 0
 	for _, on := range []bool{opts.Dir != "", opts.Store != nil, len(opts.Tiers) > 0} {
 		if on {
@@ -293,13 +328,14 @@ func New(opts Options) (*Runtime, error) {
 		}
 	}
 	rt.manager = core.NewManager(core.Config{
-		Env:        env,
-		Space:      rt.space,
-		Store:      storeAdapter{s: backend, compactor: rt.compactor},
-		Strategy:   coreStrategy(opts.Strategy),
-		CowSlots:   int(opts.CowBuffer / int64(opts.PageSize)),
-		FirstEpoch: firstEpoch,
-		Name:       "aickpt",
+		Env:           env,
+		Space:         rt.space,
+		Store:         storeAdapter{s: backend, compactor: rt.compactor},
+		Strategy:      coreStrategy(opts.Strategy),
+		CowSlots:      int(opts.CowBuffer / int64(opts.PageSize)),
+		CommitWorkers: opts.CommitWorkers,
+		FirstEpoch:    firstEpoch,
+		Name:          "aickpt",
 	})
 	return rt, nil
 }

@@ -318,6 +318,81 @@ func TestConcurrentWriters(t *testing.T) {
 	}
 }
 
+// Options.CommitWorkers plumbs through to the commit pipeline: explicit
+// worker counts (including the serial 1) produce restorable chains whose
+// final image matches the serial baseline, a negative count is rejected,
+// and the pipeline composes with a multi-level tier hierarchy.
+func TestCommitWorkersOption(t *testing.T) {
+	if _, err := New(Options{Dir: t.TempDir(), CommitWorkers: -1}); err == nil {
+		t.Fatal("negative CommitWorkers accepted")
+	}
+
+	const pageSize, pages = 256, 24
+	run := func(opts Options) *Image {
+		t.Helper()
+		opts.PageSize = pageSize
+		rt, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rt.MallocProtected(pages * pageSize)
+		for e := byte(1); e <= 3; e++ {
+			for p := 0; p < pages; p++ {
+				if (p+int(e))%2 == 0 {
+					r.StoreByte(p*pageSize, e*7+byte(p))
+				}
+			}
+			rt.Checkpoint()
+			// Interfere with the in-flight flush.
+			r.StoreByte(0, 0xF0+e)
+		}
+		rt.WaitIdle()
+		if err := rt.Close(); err != nil {
+			t.Fatal(err)
+		}
+		var im *Image
+		if rt.Hierarchy() != nil {
+			hi, _, err := rt.Hierarchy().Restore()
+			if err != nil {
+				t.Fatal(err)
+			}
+			im = hi
+		} else {
+			var err error
+			im, err = Restore(opts.Dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if im.Epoch != 3 {
+			t.Fatalf("restored epoch %d, want 3", im.Epoch)
+		}
+		return im
+	}
+	baseline := run(Options{Dir: t.TempDir(), CommitWorkers: 1})
+	for _, workers := range []int{2, 4} {
+		im := run(Options{Dir: t.TempDir(), CommitWorkers: workers})
+		for p := 0; p < pages; p++ {
+			if !bytes.Equal(im.Page(p), baseline.Page(p)) {
+				t.Fatalf("workers=%d: restored page %d differs from serial baseline", workers, p)
+			}
+		}
+	}
+	// Four workers streaming into a 2-tier hierarchy (L1 + erasure peers).
+	im := run(Options{
+		CommitWorkers: 4,
+		Tiers: []TierSpec{
+			{Kind: TierLocal},
+			{Kind: TierPeer, DataShards: 2, ParityShards: 1},
+		},
+	})
+	for p := 0; p < pages; p++ {
+		if !bytes.Equal(im.Page(p), baseline.Page(p)) {
+			t.Fatalf("tiers: restored page %d differs from serial baseline", p)
+		}
+	}
+}
+
 func TestCompressedRuntimeRoundTrip(t *testing.T) {
 	for _, comp := range []Compression{CompressionZero, CompressionFlate} {
 		dir := t.TempDir()

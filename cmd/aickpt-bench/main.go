@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "synthetic", "scenario: synthetic (Fig 2 benchmark), tiers (multi-level hierarchy under failures), chain (dedup + compaction vs chain growth)")
+	scenario := flag.String("scenario", "synthetic", "scenario: synthetic (Fig 2 benchmark), tiers (multi-level hierarchy under failures), chain (dedup + compaction vs chain growth), parallel (commit-pipeline worker scaling)")
 	patternFlag := flag.String("pattern", "ascending", "access pattern: ascending, random, descending")
 	strategyFlag := flag.String("strategy", "adaptive", "approach: adaptive, no-pattern, sync")
 	scale := flag.Int("scale", experiments.ScaleBench, "memory division factor (1 = 256 MB region)")
@@ -36,10 +36,20 @@ func main() {
 	chainEpochs := flag.Int("chain-epochs", 128, "chain scenario: epochs sealed")
 	chainDepth := flag.Int("chain-depth", 8, "chain scenario: compaction depth bound")
 	chainPages := flag.Int("chain-pages", 256, "chain scenario: working-set pages")
+	parPages := flag.Int("parallel-pages", 2048, "parallel scenario: working-set pages (4 KB each)")
+	parEpochs := flag.Int("parallel-epochs", 4, "parallel scenario: checkpoints taken")
+	parServers := flag.Int("parallel-servers", 8, "parallel scenario: simulated PFS servers")
+	parInterfere := flag.Int("parallel-interfere", 32, "parallel scenario: pages rewritten mid-flush per epoch")
+	parWorkers := flag.String("parallel-workers", "1,2,4,8", "parallel scenario: comma-separated commit worker counts (first is the baseline)")
 	flag.Parse()
 
 	if *scenario == "chain" {
 		chainScenario(*chainEpochs, *chainDepth, *chainPages)
+		return
+	}
+
+	if *scenario == "parallel" {
+		parallelScenario(*parPages, *parEpochs, *parServers, *parInterfere, *parWorkers)
 		return
 	}
 

@@ -42,12 +42,14 @@ type TierSpec struct {
 
 // DrainPolicy bounds the background promotion of sealed checkpoints to
 // lower tiers. The zero value selects defaults (queue depth 4, one worker
-// per tier, 4 attempts, 10ms initial backoff).
+// per tier, 4 attempts, 10ms initial backoff doubling up to a 1s cap).
 type DrainPolicy struct {
 	QueueDepth   int
 	Workers      int
 	MaxAttempts  int
 	RetryBackoff time.Duration
+	// MaxRetryBackoff caps the doubling retry delay; 0 selects 1s.
+	MaxRetryBackoff time.Duration
 }
 
 // Hierarchy is a multi-level checkpoint store: pages are acknowledged at
@@ -147,10 +149,11 @@ func NewHierarchy(pageSize int, specs []TierSpec, drain DrainPolicy) (*Hierarchy
 		Local:    local,
 		Lower:    lower,
 		Drain: multilevel.DrainPolicy{
-			QueueDepth:   drain.QueueDepth,
-			Workers:      drain.Workers,
-			MaxAttempts:  drain.MaxAttempts,
-			RetryBackoff: drain.RetryBackoff,
+			QueueDepth:      drain.QueueDepth,
+			Workers:         drain.Workers,
+			MaxAttempts:     drain.MaxAttempts,
+			RetryBackoff:    drain.RetryBackoff,
+			MaxRetryBackoff: drain.MaxRetryBackoff,
 		},
 	})
 	if err != nil {

@@ -89,24 +89,148 @@ func (w *segmentWriter) writeRecord(man *Manifest, page int, data []byte, rawHas
 	if compress.Codec(w.codec) != compress.None {
 		data = compress.Encode(compress.Codec(w.codec), data)
 	}
+	return w.writeEncoded(man, page, data, rawHash)
+}
+
+// writeEncoded appends one record whose payload is already codec-encoded
+// (or verbatim for codec None) and updates the manifest bookkeeping.
+func (w *segmentWriter) writeEncoded(man *Manifest, page int, payload []byte, rawHash uint64) error {
 	h := fnv.New64a()
-	h.Write(data)
+	h.Write(payload)
 	var hdr [20]byte
 	binary.LittleEndian.PutUint32(hdr[0:], recordMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(page))
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(data)))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(payload)))
 	binary.LittleEndian.PutUint64(hdr[12:], h.Sum64())
 	if _, err := w.buf.Write(hdr[:]); err != nil {
 		return fmt.Errorf("write header: %w", err)
 	}
-	if _, err := w.buf.Write(data); err != nil {
+	if _, err := w.buf.Write(payload); err != nil {
 		return fmt.Errorf("write payload: %w", err)
 	}
 	man.PageCount++
-	man.TotalBytes += int64(len(hdr)) + int64(len(data))
+	man.TotalBytes += int64(len(hdr)) + int64(len(payload))
 	man.Pages = append(man.Pages, page)
 	man.Hashes = append(man.Hashes, rawHash)
 	return nil
+}
+
+// recordJob is one encoded page record staged for the segment writer.
+type recordJob struct {
+	page    int
+	payload []byte // codec-encoded, owned by the job
+	rawHash uint64
+}
+
+// epochStage is the staging buffer between concurrent page committers and
+// the epoch's single segment-writer goroutine: WritePage hands encoded
+// records to the stage (cheap, under the stage's own lock) and the writer
+// drains them in batches, appending to the segment and folding the
+// per-record bookkeeping into the manifest in arrival order. This keeps the
+// on-disk format and the manifest's Pages/Hashes pairing exactly as in the
+// serial path while letting the expensive steps — content hashing, codec
+// encoding, the page copy — run concurrently outside every repository lock.
+//
+// When no records are staged ahead and the writer is idle, submit appends
+// synchronously instead (zero-copy: the caller's buffer is still valid),
+// so a single committer worker pays neither the page copy nor the
+// goroutine handoff — the hot path is the old serial one.
+type epochStage struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []recordJob
+	closed bool
+	err    error // first segment-write error, guarded by mu
+
+	writeMu sync.Mutex // serializes segment appends (writer batches and sync path)
+	w       *segmentWriter
+	man     *Manifest
+
+	done chan struct{} // closed when the writer has drained and exited
+}
+
+// newEpochStage starts the segment-writer goroutine for one open epoch.
+// w and man are owned by the stage until close returns.
+func newEpochStage(w *segmentWriter, man *Manifest) *epochStage {
+	s := &epochStage{w: w, man: man, done: make(chan struct{})}
+	s.cond = sync.NewCond(&s.mu)
+	go s.run()
+	return s
+}
+
+// submit appends one encoded record: synchronously when the segment writer
+// is idle and nothing is staged ahead (no copy, error surfaced directly),
+// otherwise by staging it for the writer goroutine. borrowed marks a
+// payload that aliases caller memory and must be copied if staged.
+func (s *epochStage) submit(j recordJob, borrowed bool) error {
+	s.mu.Lock()
+	if len(s.queue) == 0 && s.err == nil && s.writeMu.TryLock() {
+		s.mu.Unlock()
+		err := s.w.writeEncoded(s.man, j.page, j.payload, j.rawHash)
+		s.writeMu.Unlock()
+		if err != nil {
+			s.fail(err)
+		}
+		return err
+	}
+	if borrowed {
+		j.payload = append([]byte(nil), j.payload...)
+	}
+	s.queue = append(s.queue, j)
+	s.cond.Signal()
+	s.mu.Unlock()
+	return nil
+}
+
+// fail records the stage's first error.
+func (s *epochStage) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+func (s *epochStage) run() {
+	defer close(s.done)
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		batch := s.queue
+		s.queue = nil
+		closed := s.closed
+		failed := s.err != nil
+		s.mu.Unlock()
+		if len(batch) == 0 && closed {
+			return
+		}
+		s.writeMu.Lock()
+		for _, j := range batch {
+			if failed {
+				continue // keep draining; the first error decides the epoch
+			}
+			if err := s.w.writeEncoded(s.man, j.page, j.payload, j.rawHash); err != nil {
+				s.fail(err)
+				failed = true
+			}
+		}
+		s.writeMu.Unlock()
+	}
+}
+
+// close waits for every staged record to reach the segment writer, stops
+// the writer goroutine and returns the first write error.
+func (s *epochStage) close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Signal()
+	s.mu.Unlock()
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
 }
 
 func (w *segmentWriter) finish() error {
@@ -174,7 +298,10 @@ type pageIdx struct {
 }
 
 // DedupStats counts the repository's content-addressed dedup activity since
-// it was opened.
+// it was opened. Counters cover sealed epochs only: an epoch's activity
+// becomes visible when EndEpoch commits it and is dropped if the epoch is
+// discarded, so the totals always describe bytes a restore can actually
+// read.
 type DedupStats struct {
 	// PagesStored / BytesStored count physical segment records written.
 	PagesStored int
@@ -186,7 +313,12 @@ type DedupStats struct {
 }
 
 // Repository stores checkpoint epochs on an FS. It implements
-// storage.Backend so the page manager can commit straight into it.
+// storage.Backend so the page manager can commit straight into it, and its
+// write path is concurrency-safe: any number of committer workers may call
+// WritePage for the open epoch simultaneously (hashing and encoding happen
+// outside the repository lock, and a single segment-writer goroutine
+// appends the staged records in arrival order), with EndEpoch acting as the
+// epoch's barrier.
 //
 // Repositories write format-v2 manifests: every stored page carries a
 // content hash, and pages whose content is bit-identical to the newest
@@ -204,14 +336,16 @@ type Repository struct {
 
 	mu      sync.Mutex
 	w       *segmentWriter // nil until the epoch's first physical record
+	stage   *epochStage    // segment-writer stage; lifecycle follows w
 	curMan  Manifest
 	curOpen bool
 
 	index       map[int]pageIdx // newest sealed content per page
 	pending     map[int]pageIdx // current open epoch; merged into index at seal
 	indexLoaded bool
-	sizeChecked bool // existing chain's page size validated against ours
-	stats       DedupStats
+	sizeChecked bool       // existing chain's page size validated against ours
+	stats       DedupStats // sealed epochs only
+	curStats    DedupStats // open epoch; folded into stats at seal, dropped on abort
 }
 
 // NewRepository returns a repository writing pageSize-sized pages to fs,
@@ -337,6 +471,15 @@ func (r *Repository) checkChainPageSizeLocked() error {
 // timing backends instead). A page whose content hash matches the newest
 // chain entry is deduplicated: no segment record is written, only a
 // manifest Ref.
+//
+// WritePage is safe for concurrent use within one epoch (the parallel
+// commit pipeline's workers). Content hashing and codec encoding run
+// outside the repository lock; the dedup decision and manifest bookkeeping
+// are taken under it; and the encoded record is handed to a per-epoch
+// staging buffer drained by a single segment-writer goroutine, so the
+// on-disk format is byte-for-byte the serial one. data is only read before
+// WritePage returns — callers may reuse or mutate the buffer afterwards.
+// Interleaving pages of two different epochs remains an error.
 func (r *Repository) WritePage(epoch uint64, page int, data []byte, size int) error {
 	if data == nil {
 		return fmt.Errorf("ckpt: nil page data for page %d (phantom writes not storable)", page)
@@ -344,17 +487,22 @@ func (r *Repository) WritePage(epoch uint64, page int, data []byte, size int) er
 	if len(data) != size {
 		return fmt.Errorf("ckpt: page %d: data length %d != size %d", page, len(data), size)
 	}
+	// Hash off-lock: with several committer workers this is the hottest
+	// per-page step after the codec.
+	rawHash := contentHash(data)
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.curOpen && r.curMan.Epoch != epoch {
+		r.mu.Unlock()
 		return fmt.Errorf("ckpt: page for epoch %d while epoch %d is open", epoch, r.curMan.Epoch)
 	}
 	if !r.curOpen {
 		if r.dedup && !r.indexLoaded {
 			if err := r.loadIndexLocked(); err != nil {
+				r.mu.Unlock()
 				return err
 			}
 		} else if err := r.checkChainPageSizeLocked(); err != nil {
+			r.mu.Unlock()
 			return err
 		}
 		r.curMan = Manifest{Epoch: epoch, PageSize: r.pageSize, Codec: uint8(r.codec), Format: FormatV2}
@@ -363,7 +511,6 @@ func (r *Repository) WritePage(epoch uint64, page int, data []byte, size int) er
 		}
 		r.curOpen = true
 	}
-	rawHash := contentHash(data)
 	if r.dedup {
 		prev, ok := r.pending[page]
 		if !ok {
@@ -372,36 +519,53 @@ func (r *Repository) WritePage(epoch uint64, page int, data []byte, size int) er
 		if ok && prev.hasHash && prev.hash == rawHash {
 			r.curMan.Refs = append(r.curMan.Refs, PageRef{Page: page, Epoch: prev.epoch, Hash: rawHash})
 			r.pending[page] = prev
-			r.stats.PagesDeduped++
-			r.stats.BytesDeduped += int64(size)
+			r.curStats.PagesDeduped++
+			r.curStats.BytesDeduped += int64(size)
+			r.mu.Unlock()
 			return nil
 		}
 	}
 	if r.w == nil {
 		f, err := r.fs.Create(segmentName(epoch))
 		if err != nil {
+			r.mu.Unlock()
 			return fmt.Errorf("ckpt: create segment: %w", err)
 		}
 		r.w = &segmentWriter{pageSize: r.pageSize, codec: uint8(r.codec)}
 		if err := r.w.begin(f); err != nil {
+			r.mu.Unlock()
 			return err
 		}
-	}
-	if err := r.w.writeRecord(&r.curMan, page, data, rawHash); err != nil {
-		return fmt.Errorf("ckpt: %w", err)
+		r.stage = newEpochStage(r.w, &r.curMan)
 	}
 	if r.pending != nil {
 		r.pending[page] = pageIdx{hash: rawHash, epoch: epoch, hasHash: true}
 	}
-	r.stats.PagesStored++
-	r.stats.BytesStored += int64(size)
+	r.curStats.PagesStored++
+	r.curStats.BytesStored += int64(size)
+	stage, codec := r.stage, compress.Codec(r.codec)
+	r.mu.Unlock()
+	// Encode off-lock. A payload that still aliases the caller's buffer
+	// (codec None) is marked borrowed: if it must be staged for the writer
+	// goroutine — the record then outlives this call, while the caller's
+	// page becomes writable again the moment the committer marks it done —
+	// the stage copies it; the synchronous fast path writes it copy-free.
+	payload, borrowed := data, true
+	if codec != compress.None {
+		payload, borrowed = compress.Encode(codec, data), false
+	}
+	if err := stage.submit(recordJob{page: page, payload: payload, rawHash: rawHash}, borrowed); err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
 	return nil
 }
 
-// EndEpoch implements storage.Backend: it flushes the segment and writes the
-// manifest, sealing the epoch. Dedup index updates commit here — an aborted
-// epoch leaves the index untouched, so later dedup decisions only ever
-// reference sealed content.
+// EndEpoch implements storage.Backend: it drains the staged records,
+// flushes the segment and writes the manifest, sealing the epoch. Dedup
+// index updates commit here — an aborted epoch leaves the index untouched,
+// so later dedup decisions only ever reference sealed content. EndEpoch
+// must not run concurrently with WritePage calls for the same epoch; the
+// committer's epoch-end barrier provides exactly that ordering.
 func (r *Repository) EndEpoch(epoch uint64) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -411,6 +575,22 @@ func (r *Repository) EndEpoch(epoch uint64) error {
 		r.curMan = Manifest{Epoch: epoch, PageSize: r.pageSize, Format: FormatV2}
 	} else if r.curMan.Epoch != epoch {
 		return fmt.Errorf("ckpt: sealing epoch %d while epoch %d is open", epoch, r.curMan.Epoch)
+	}
+	if r.stage != nil {
+		err := r.stage.close()
+		r.stage = nil
+		if err != nil {
+			// A record never reached the segment: the epoch cannot seal.
+			// Discard it entirely — an unsealed epoch is invisible to
+			// restore, which is the crash-consistency contract — and drop
+			// its staged stats with it.
+			r.w.abort()
+			r.w = nil
+			r.curOpen = false
+			r.pending = nil
+			r.curStats = DedupStats{}
+			return fmt.Errorf("ckpt: %w", err)
+		}
 	}
 	if r.w != nil {
 		if err := r.w.finish(); err != nil {
@@ -425,6 +605,12 @@ func (r *Repository) EndEpoch(epoch uint64) error {
 			r.index[p] = e
 		}
 	}
+	// The epoch is durable: its dedup counters become visible.
+	r.stats.PagesStored += r.curStats.PagesStored
+	r.stats.BytesStored += r.curStats.BytesStored
+	r.stats.PagesDeduped += r.curStats.PagesDeduped
+	r.stats.BytesDeduped += r.curStats.BytesDeduped
+	r.curStats = DedupStats{}
 	r.curOpen = false
 	r.w = nil
 	r.pending = nil
@@ -436,11 +622,18 @@ func (r *Repository) Abort() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.curOpen {
+		if r.stage != nil {
+			// Join the segment writer before tearing down the state it
+			// appends to; its outcome no longer matters.
+			_ = r.stage.close()
+			r.stage = nil
+		}
 		if r.w != nil {
 			r.w.abort()
 		}
 		r.curOpen = false
 		r.w = nil
 		r.pending = nil
+		r.curStats = DedupStats{}
 	}
 }

@@ -16,6 +16,13 @@ import (
 // asynchronous committer (ASYNC_COMMIT) and the write-fault handler
 // (PROTECTED_PAGE_HANDLER), which compete for the monitored pages and
 // synchronize through the manager's mutex and condition variables.
+//
+// The committer is a pipeline of Config.CommitWorkers concurrent workers:
+// each pulls the next page from the flush-order selector under the manager
+// lock, then performs the storage write off-lock, so independent page
+// writes overlap and the background flush approaches the aggregate
+// bandwidth of the backend instead of a single stream's. An epoch-end
+// barrier orders every page write before the single EndEpoch seal.
 type Manager struct {
 	cfg   Config
 	env   sim.Env
@@ -25,7 +32,7 @@ type Manager struct {
 	mu            sync.Locker
 	committerKick sim.Cond // committer <- Checkpoint notifications
 	pageDone      sim.Cond // handler <- committer page/slot notifications
-	ckptDone      sim.Cond // Checkpoint/WaitIdle <- committer completion
+	ckptDone      sim.Cond // Checkpoint/WaitIdle/worker barrier <- epoch seal
 	exitDone      sim.Cond // Close <- committer exit
 
 	epoch      uint64
@@ -33,6 +40,11 @@ type Manager struct {
 	closed     bool
 	exited     bool
 	firstErr   error
+
+	workers       int  // committer workers spawned (0 for Sync)
+	exitedWorkers int  // workers that have returned
+	inflight      int  // pages pulled by a worker but not yet Processed
+	sealing       bool // a worker is inside EndEpoch for the current epoch
 
 	// Per-page metadata, indexed by global page ID (§3.3 data structures).
 	npages    int
@@ -48,8 +60,8 @@ type Manager struct {
 
 	cow          map[int][]byte // page -> pre-write copy (nil value: phantom)
 	cowUsed      int
-	waitedQueue  []int // pages the application is blocked on (WaitedPage)
-	liveCowQueue []int // pages that took a COW slot this epoch
+	waited       pageQueue // pages the application is blocked on (WaitedPage)
+	liveCowQueue []int     // pages that took a COW slot this epoch
 
 	sel selector
 
@@ -58,13 +70,19 @@ type Manager struct {
 }
 
 // NewManager builds a manager over cfg.Space, installs its fault handler and
-// (for the asynchronous strategies) starts the committer process.
+// (for the asynchronous strategies) starts the committer workers.
 func NewManager(cfg Config) *Manager {
 	if cfg.Env == nil || cfg.Space == nil || cfg.Store == nil {
 		panic("core: Config needs Env, Space and Store")
 	}
 	if cfg.CowSlots < 0 {
 		panic("core: negative CowSlots")
+	}
+	if cfg.CommitWorkers < 0 {
+		panic("core: negative CommitWorkers")
+	}
+	if cfg.CommitWorkers == 0 {
+		cfg.CommitWorkers = 1
 	}
 	if cfg.Name == "" {
 		cfg.Name = "aickpt"
@@ -86,9 +104,12 @@ func NewManager(cfg Config) *Manager {
 	m.exitDone = m.env.NewCond(m.mu)
 	m.space.SetFaultHandler(m.handleFault)
 	if cfg.Strategy == Sync {
-		m.exited = true // no committer process
+		m.exited = true // no committer processes
 	} else {
-		m.env.Go(cfg.Name+"-committer", m.committer)
+		m.workers = cfg.CommitWorkers
+		for w := 0; w < m.workers; w++ {
+			m.env.Go(fmt.Sprintf("%s-committer-%d", cfg.Name, w), m.committer)
+		}
 	}
 	return m
 }
@@ -182,7 +203,7 @@ func (m *Manager) Checkpoint() {
 	case NoPattern:
 		m.sel = &ascendingSelector{}
 	}
-	m.committerKick.Signal()
+	m.committerKick.Broadcast()
 	m.mu.Unlock()
 }
 
@@ -200,7 +221,7 @@ func (m *Manager) rotateLocked(start, blocked time.Duration) {
 	m.at, m.lastAT = m.lastAT, m.at
 	m.index, m.lastIndex = m.lastIndex, m.index
 	m.accessOrder = 0
-	m.waitedQueue = m.waitedQueue[:0]
+	m.waited.reset()
 	m.liveCowQueue = m.liveCowQueue[:0]
 	// Re-protect every live page and reset its access record.
 	m.space.ForEachLivePage(func(p int) {
@@ -250,9 +271,10 @@ func (m *Manager) syncCommitLocked() {
 	m.cur.BlockedInCheckpoint += d
 }
 
-// committer is the ASYNC_COMMIT module (Algorithm 3): it drains the
-// scheduled set, committing the COW copy when one exists and otherwise
-// locking the page, writing it and notifying any waiting writer.
+// committer is one worker of the ASYNC_COMMIT module (Algorithm 3,
+// parallelized): it drains the scheduled set together with its peers,
+// committing the COW copy when one exists and otherwise locking the page,
+// writing it and notifying any waiting writer.
 func (m *Manager) committer() {
 	m.mu.Lock()
 	for {
@@ -262,53 +284,87 @@ func (m *Manager) committer() {
 		if !m.inProgress {
 			break
 		}
-		epoch := m.epoch
-		pageSize := m.space.PageSize()
-		for {
-			p := m.sel.next(m, m.lastDirty)
-			if p < 0 {
-				break
-			}
-			if m.at[p] == Cow {
-				data := m.cow[p]
-				m.mu.Unlock()
-				err := m.store.WritePage(epoch, p, data, pageSize)
-				m.mu.Lock()
-				m.noteErrLocked(err)
-				delete(m.cow, p)
-				m.cowUsed--
-				m.state[p] = Processed
-				m.lastDirty.Clear(p)
-				// A slot was released: writers blocked for lack of slots
-				// could proceed... but per Algorithm 2 they wait for their
-				// page; waking them re-checks the predicate harmlessly.
-				m.pageDone.Broadcast()
-			} else {
-				m.state[p] = InProgress
-				data := m.space.PageData(p)
-				m.mu.Unlock()
-				err := m.store.WritePage(epoch, p, data, pageSize)
-				m.mu.Lock()
-				m.noteErrLocked(err)
-				m.state[p] = Processed
-				m.lastDirty.Clear(p)
-				m.pageDone.Broadcast()
-			}
+		m.flushEpochLocked()
+	}
+	m.exitedWorkers++
+	if m.exitedWorkers == m.workers {
+		m.exited = true
+		m.exitDone.Broadcast()
+	}
+	m.mu.Unlock()
+}
+
+// flushEpochLocked is one worker's participation in the current epoch's
+// flush. Pages are pulled from the selector under the lock — pulling clears
+// the page from the remaining set, so no two workers ever commit the same
+// page — and written to storage off-lock, concurrently with the other
+// workers. When the selector runs dry the worker joins the epoch-end
+// barrier: the worker that observes the last in-flight write retired seals
+// the epoch with a single EndEpoch, the rest wait for the seal (or for the
+// next epoch to start). Called and returns with m.mu held.
+func (m *Manager) flushEpochLocked() {
+	epoch := m.epoch
+	pageSize := m.space.PageSize()
+	for {
+		p := m.sel.next(m, m.lastDirty)
+		if p < 0 {
+			break
 		}
-		if m.cowUsed != 0 || len(m.cow) != 0 {
-			panic(fmt.Sprintf("core: %d COW slots leaked at end of epoch %d", m.cowUsed, epoch))
+		// Pull: from here on this worker owns the page. Clearing it from
+		// the remaining set keeps the other workers (and the selector's
+		// stale-entry skipping) away from it.
+		m.lastDirty.Clear(p)
+		isCow := m.at[p] == Cow
+		var data []byte
+		if isCow {
+			data = m.cow[p]
+		} else {
+			data = m.space.PageData(p)
 		}
+		m.state[p] = InProgress
+		m.inflight++
 		m.mu.Unlock()
-		err := m.store.EndEpoch(epoch)
+		// Off-lock write. For a non-COW page the slice aliases live memory,
+		// but any application write to it first faults and blocks until the
+		// page is Processed, so the content cannot change underneath us.
+		err := m.store.WritePage(epoch, p, data, pageSize)
 		m.mu.Lock()
 		m.noteErrLocked(err)
-		m.inProgress = false
-		m.cur.Duration = m.env.Now() - m.cur.Start
-		m.ckptDone.Broadcast()
+		if isCow {
+			delete(m.cow, p)
+			m.cowUsed--
+			// A slot was released: writers blocked for lack of slots
+			// could proceed... but per Algorithm 2 they wait for their
+			// page; waking them re-checks the predicate harmlessly.
+		}
+		m.state[p] = Processed
+		m.inflight--
+		m.pageDone.Broadcast()
 	}
-	m.exited = true
-	m.exitDone.Broadcast()
-	m.mu.Unlock()
+	// Epoch-end barrier. The epoch is complete when the remaining set is
+	// empty (the selector just ran dry and nothing re-enters it mid-epoch)
+	// and no pulled page is still being written. Exactly one worker claims
+	// the seal; the others wait on ckptDone, re-checking against the epoch
+	// number in case they wake into an already-started next epoch (then
+	// they return and re-enter through the committer loop).
+	for m.inProgress && m.epoch == epoch {
+		if m.inflight == 0 && !m.sealing {
+			m.sealing = true
+			if m.cowUsed != 0 || len(m.cow) != 0 {
+				panic(fmt.Sprintf("core: %d COW slots leaked at end of epoch %d", m.cowUsed, epoch))
+			}
+			m.mu.Unlock()
+			err := m.store.EndEpoch(epoch)
+			m.mu.Lock()
+			m.noteErrLocked(err)
+			m.sealing = false
+			m.inProgress = false
+			m.cur.Duration = m.env.Now() - m.cur.Start
+			m.ckptDone.Broadcast()
+			return
+		}
+		m.ckptDone.Wait()
+	}
 }
 
 // handleFault is the PROTECTED_PAGE_HANDLER module (Algorithm 2), invoked
@@ -348,18 +404,14 @@ func (m *Manager) handleFault(page int) {
 	default:
 		// Page in flight, or scheduled with no free COW slot: wait until
 		// the committer processes it, hinting it via the waited queue so
-		// the adaptive selector maximizes its priority.
-		m.waitedQueue = append(m.waitedQueue, page)
+		// the selectors maximize its priority. The queue dedups on enqueue,
+		// so several threads blocking on one page share a single entry.
+		m.waited.push(page)
 		waitStart := m.env.Now()
 		for m.state[page] != Processed {
 			m.pageDone.Wait()
 		}
-		for i, q := range m.waitedQueue {
-			if q == page {
-				m.waitedQueue = append(m.waitedQueue[:i], m.waitedQueue[i+1:]...)
-				break
-			}
-		}
+		m.waited.remove(page)
 		m.at[page] = Wait
 		m.cur.Waits++
 		m.cur.WaitTime += m.env.Now() - waitStart

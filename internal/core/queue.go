@@ -1,0 +1,59 @@
+package core
+
+// pageQueue is a FIFO of page IDs with deduplication on enqueue and O(1)
+// removal. It replaces the plain waited-page slice the selectors used to
+// re-slice in place: that slice aliased the backing array the fault handler
+// removed entries from by index, and several application threads blocking on
+// the same page accumulated duplicate entries. The queue is manipulated only
+// with the manager's mutex held; dedup makes it safe for any number of
+// blocked writers and any number of committer workers consuming it.
+type pageQueue struct {
+	order  []int        // arrival order; may contain dead entries
+	member map[int]bool // pages currently enqueued
+	head   int          // first possibly-live index in order
+}
+
+// push enqueues a page unless it is already queued.
+func (q *pageQueue) push(p int) {
+	if q.member == nil {
+		q.member = make(map[int]bool)
+	}
+	if q.member[p] {
+		return
+	}
+	q.member[p] = true
+	q.order = append(q.order, p)
+}
+
+// remove dequeues a page wherever it sits (lazy: the slot in order is
+// skipped once the cursor reaches it).
+func (q *pageQueue) remove(p int) {
+	delete(q.member, p)
+}
+
+// front returns the oldest live entry without consuming it, or ok=false
+// when the queue is empty. Dead slots in front are compacted away.
+func (q *pageQueue) front() (p int, ok bool) {
+	for q.head < len(q.order) {
+		p = q.order[q.head]
+		if q.member[p] {
+			return p, true
+		}
+		q.head++
+	}
+	q.order = q.order[:0]
+	q.head = 0
+	return 0, false
+}
+
+// len returns the number of live entries.
+func (q *pageQueue) len() int { return len(q.member) }
+
+// reset clears the queue (epoch rotation).
+func (q *pageQueue) reset() {
+	q.order = q.order[:0]
+	q.head = 0
+	for p := range q.member {
+		delete(q.member, p)
+	}
+}

@@ -8,11 +8,13 @@ import (
 
 // selector produces the next page to commit (SELECT_NEXT_PAGE, Algorithm 4).
 // Selectors are rebuilt at every checkpoint from the previous epoch's
-// statistics and consulted with the manager's mutex held.
+// statistics and consulted with the manager's mutex held — possibly by
+// several committer workers in turn, each of which removes the page it was
+// handed from the remaining set before releasing the lock.
 type selector interface {
 	// next returns the next page to commit, or -1 when the remaining set
-	// is empty. remaining is the live LastDirty set: pages already
-	// committed through other paths must be skipped.
+	// is empty. remaining is the live LastDirty set: pages already pulled
+	// by a worker or committed through other paths must be skipped.
 	next(m *Manager, remaining *util.Bitset) int
 }
 
@@ -29,12 +31,16 @@ type ascendingSelector struct {
 }
 
 func (s *ascendingSelector) next(m *Manager, remaining *util.Bitset) int {
-	for !m.cfg.NoWaitedHint && len(m.waitedQueue) > 0 {
-		p := m.waitedQueue[0]
+	for !m.cfg.NoWaitedHint {
+		p, ok := m.waited.front()
+		if !ok {
+			break
+		}
 		if remaining.Test(p) {
 			return p
 		}
-		m.waitedQueue = m.waitedQueue[1:]
+		// Already pulled or committed through another path; drop the hint.
+		m.waited.remove(p)
 	}
 	p := remaining.NextSet(s.cursor)
 	if p < 0 {
@@ -109,12 +115,16 @@ func newAdaptiveSelector(dirty *util.Bitset, lastAT []AccessType, lastIndex []in
 
 func (s *adaptiveSelector) next(m *Manager, remaining *util.Bitset) int {
 	// Priority 1: a page the application is blocked on right now.
-	for !m.cfg.NoWaitedHint && len(m.waitedQueue) > 0 {
-		p := m.waitedQueue[0]
+	for !m.cfg.NoWaitedHint {
+		p, ok := m.waited.front()
+		if !ok {
+			break
+		}
 		if remaining.Test(p) {
 			return p
 		}
-		m.waitedQueue = m.waitedQueue[1:]
+		// Already pulled or committed through another path; drop the hint.
+		m.waited.remove(p)
 	}
 	// Priority 2: current-epoch COW pages — free their slots ASAP.
 	for !m.cfg.NoLiveCowPriority && len(m.liveCowQueue) > 0 {

@@ -71,10 +71,8 @@ func TestAdaptiveSelectorWaitedAndLiveCowPriority(t *testing.T) {
 		dirty.Set(p)
 	}
 	sel := newAdaptiveSelector(dirty, lastAT, lastIndex)
-	m := &Manager{
-		waitedQueue:  []int{5},
-		liveCowQueue: []int{6, 2},
-	}
+	m := &Manager{liveCowQueue: []int{6, 2}}
+	m.waited.push(5)
 	remaining := dirty.Clone()
 	got := drain(t, sel, m, remaining)
 	// waited 5 first; live COW 6 then 2; then rest ascending.

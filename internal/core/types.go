@@ -112,6 +112,16 @@ type Config struct {
 	// CowSlots bounds the number of concurrent copy-on-write copies (the
 	// COW buffer size divided by the page size). Zero disables COW.
 	CowSlots int
+	// CommitWorkers is the number of concurrent committer workers in the
+	// parallel commit pipeline. Workers pull pages from the flush-order
+	// selector under the manager lock and perform the storage writes
+	// off-lock, concurrently; an epoch-end barrier orders every write
+	// before the seal. 0 defaults to 1 — the serial committer, which keeps
+	// virtual-time simulations bit-for-bit reproducible with earlier
+	// revisions. Values > 1 require a Store that tolerates concurrent
+	// WritePage calls for the same epoch (see storage.Backend). Ignored by
+	// the Sync strategy, which flushes inline.
+	CommitWorkers int
 	// CowCopyCost models the time to copy one page into the COW buffer
 	// (virtual-time experiments only; leave zero in real mode, where the
 	// actual memcpy is the cost).

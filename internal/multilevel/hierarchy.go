@@ -22,8 +22,13 @@ type DrainPolicy struct {
 	// before the copy is marked failed. Default 4.
 	MaxAttempts int
 	// RetryBackoff is the delay before the first retry; it doubles after
-	// every failed attempt. Default 10ms.
+	// every failed attempt, up to MaxRetryBackoff. Default 10ms.
 	RetryBackoff time.Duration
+	// MaxRetryBackoff caps the exponential retry delay so a large
+	// MaxAttempts budget against a persistently failing tier retries at a
+	// steady cadence instead of sleeping for unbounded doubling intervals.
+	// Default 1s (and never below RetryBackoff).
+	MaxRetryBackoff time.Duration
 }
 
 func (p DrainPolicy) withDefaults() DrainPolicy {
@@ -38,6 +43,12 @@ func (p DrainPolicy) withDefaults() DrainPolicy {
 	}
 	if p.RetryBackoff <= 0 {
 		p.RetryBackoff = 10 * time.Millisecond
+	}
+	if p.MaxRetryBackoff <= 0 {
+		p.MaxRetryBackoff = time.Second
+	}
+	if p.MaxRetryBackoff < p.RetryBackoff {
+		p.MaxRetryBackoff = p.RetryBackoff
 	}
 	return p
 }
@@ -457,6 +468,9 @@ func (h *Hierarchy) drainOne(ti int, job drainJob) {
 				}
 				h.env.Sleep(backoff)
 				backoff *= 2
+				if backoff > h.policy.MaxRetryBackoff {
+					backoff = h.policy.MaxRetryBackoff
+				}
 			}
 		}
 	}

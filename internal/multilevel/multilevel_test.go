@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -223,19 +224,31 @@ func TestRestoreFallsToPFSWhenPeerLosesTooManyNodes(t *testing.T) {
 	})
 }
 
-// flakyTier fails its first failures Store calls, then delegates.
+// flakyTier fails its first failures Store calls, then delegates. The call
+// counter is guarded: the drainer may run several workers per tier.
 type flakyTier struct {
 	Tier
 	failures int
-	calls    int
+
+	mu    sync.Mutex
+	calls int
 }
 
 func (f *flakyTier) Store(ep *EpochData) error {
+	f.mu.Lock()
 	f.calls++
-	if f.calls <= f.failures {
+	fail := f.calls <= f.failures
+	f.mu.Unlock()
+	if fail {
 		return errors.New("transient store failure")
 	}
 	return f.Tier.Store(ep)
+}
+
+func (f *flakyTier) Calls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
 }
 
 func TestDrainRetriesWithBackoff(t *testing.T) {
@@ -274,8 +287,56 @@ func TestDrainRetriesWithBackoff(t *testing.T) {
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if flaky.calls != 3 {
-		t.Errorf("store attempts = %d, want 3", flaky.calls)
+	if flaky.Calls() != 3 {
+		t.Errorf("store attempts = %d, want 3", flaky.Calls())
+	}
+}
+
+// The retry delay doubles only up to MaxRetryBackoff: a large attempt
+// budget against a persistently failing tier must retry at a steady capped
+// cadence, not sleep for exponentially growing (effectively unbounded)
+// intervals.
+func TestDrainBackoffIsCapped(t *testing.T) {
+	k := sim.NewKernel()
+	local := NewLocalTier(k, "local", &ckpt.MemFS{}, pageSize, nil)
+	flaky := &flakyTier{Tier: NewLocalTier(k, "l2", &ckpt.MemFS{}, pageSize, nil), failures: 9}
+	h, err := New(Config{
+		Env: k, PageSize: pageSize, Local: local, Lower: []Tier{flaky},
+		Drain: DrainPolicy{
+			MaxAttempts:     10,
+			RetryBackoff:    10 * time.Millisecond,
+			MaxRetryBackoff: 40 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Go("app", func() {
+		data := pageFill(0, 1)
+		if err := h.WritePage(1, 0, data, len(data)); err != nil {
+			t.Error(err)
+		}
+		if err := h.EndEpoch(1); err != nil {
+			t.Error(err)
+		}
+		h.WaitDrained()
+		// 9 failed attempts sleep 10+20+40+40+... = 310ms total; uncapped
+		// doubling would have slept 5.11s.
+		if got, want := k.Now(), 310*time.Millisecond; got != want {
+			t.Errorf("drain finished at %v, want exactly %v (capped backoff)", got, want)
+		}
+		if h.Err() != nil {
+			t.Errorf("unexpected drain error: %v", h.Err())
+		}
+		if err := h.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if flaky.Calls() != 10 {
+		t.Errorf("store attempts = %d, want 10", flaky.Calls())
 	}
 }
 

@@ -11,9 +11,19 @@ import "sync"
 
 // Backend persists page images produced by checkpointing.
 //
-// Implementations must be safe for use by a single committer process at a
-// time per epoch; the decorators in this package additionally tolerate
-// concurrent writers.
+// Concurrency contract: WritePage may be called concurrently for pages of
+// the same epoch — the page manager's parallel commit pipeline runs
+// several committer workers against one Backend — so implementations must
+// synchronize any shared mutable state. Each (epoch, page) pair is written
+// at most once per epoch, EndEpoch(e) is never concurrent with
+// WritePage(e, ...) (the pipeline's epoch-end barrier orders every page
+// write before the seal), and epochs are sealed in order; implementations
+// may reject interleaved writes for two different epochs. The data slice
+// is only valid for the duration of the call: a backend that retains page
+// content past its return must copy it.
+//
+// Every Backend in this package and internal/ckpt honors this contract;
+// decorators require it of the backends they wrap.
 type Backend interface {
 	// WritePage persists one page image for the given epoch. size is the
 	// logical page size in bytes; data holds the image and may be nil in
@@ -43,6 +53,7 @@ type Commit struct {
 
 // TracingStore records the exact order of page commits; tests use it to
 // assert flush-order policies. It optionally forwards to a next Backend.
+// The trace is guarded, so concurrent committer workers may share one.
 type TracingStore struct {
 	Next Backend
 

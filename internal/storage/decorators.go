@@ -9,7 +9,8 @@ import (
 
 // CompressingStore compresses page images before forwarding them. When the
 // underlying backend only models timing (phantom data), the store forwards
-// the original size, since no bytes exist to compress.
+// the original size, since no bytes exist to compress. It is stateless and
+// therefore safe for concurrent WritePage calls whenever Next is.
 type CompressingStore struct {
 	Codec compress.Codec
 	Next  Backend
@@ -28,7 +29,9 @@ func (c *CompressingStore) WritePage(epoch uint64, page int, data []byte, size i
 func (c *CompressingStore) EndEpoch(epoch uint64) error { return c.Next.EndEpoch(epoch) }
 
 // ReplicatedStore writes every page to all replicas, the straightforward
-// remedy the paper mentions for unreliable node-local storage.
+// remedy the paper mentions for unreliable node-local storage. It holds no
+// state of its own: concurrent WritePage calls are safe whenever every
+// replica honors the Backend concurrency contract.
 type ReplicatedStore struct {
 	Replicas []Backend
 }
@@ -56,7 +59,10 @@ func (r *ReplicatedStore) EndEpoch(epoch uint64) error {
 // ErasureStore splits each page into k data + m parity shards
 // (Reed-Solomon) and spreads them over k+m backends, the cost-effective
 // alternative to replication from the paper's §3.2 (ref [18]). Any k
-// surviving backends can reconstruct every page.
+// surviving backends can reconstruct every page. Its fields are immutable
+// after construction (the coder's tables are read-only), so concurrent
+// WritePage calls are safe whenever the shard backends honor the Backend
+// concurrency contract.
 type ErasureStore struct {
 	coder    *erasure.Coder
 	backends []Backend

@@ -4,32 +4,42 @@ import (
 	"bytes"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 )
 
-// failAfter fails every call once n successful calls have happened.
+// failAfter fails every call once n successful calls have happened. The
+// call counter is guarded so failure injection stays deterministic ("the
+// first n calls succeed") under concurrent committer workers.
 type failAfter struct {
 	memSink
-	ok    int
-	calls int
-	fail  error
+	ok   int
+	fail error
+
+	callMu sync.Mutex
+	calls  int
 }
 
 func newFailAfter(ok int) *failAfter {
-	return &failAfter{memSink: *newMemSink(), ok: ok, fail: errors.New("injected backend failure")}
+	return &failAfter{ok: ok, fail: errors.New("injected backend failure")}
+}
+
+func (f *failAfter) take() bool {
+	f.callMu.Lock()
+	defer f.callMu.Unlock()
+	f.calls++
+	return f.calls <= f.ok
 }
 
 func (f *failAfter) WritePage(epoch uint64, page int, data []byte, size int) error {
-	f.calls++
-	if f.calls > f.ok {
+	if !f.take() {
 		return f.fail
 	}
 	return f.memSink.WritePage(epoch, page, data, size)
 }
 
 func (f *failAfter) EndEpoch(epoch uint64) error {
-	f.calls++
-	if f.calls > f.ok {
+	if !f.take() {
 		return f.fail
 	}
 	return f.memSink.EndEpoch(epoch)

@@ -7,7 +7,9 @@ import (
 // SimDisk models a node-local disk: every page write serializes on the
 // disk's link (bandwidth + per-request overhead). All processes of a node
 // share the same SimDisk, so their checkpoint streams contend — this is the
-// Shamrock/MILC configuration of the paper.
+// Shamrock/MILC configuration of the paper. Concurrent WritePage calls are
+// safe: all mutable state (queueing and usage counters) lives in the Link,
+// which guards it with its Env mutex.
 type SimDisk struct {
 	link *netsim.Link
 	// Next optionally receives the page after its cost is modeled, so a
@@ -45,10 +47,15 @@ func (d *SimDisk) Link() *netsim.Link { return d.link }
 // penalty: at 4 KB pages the request cost dominates, so server pressure
 // grows with the process count — the effect behind the sharp sync curve in
 // Figure 3(a). This is the Grid'5000/CM1 configuration.
+//
+// Striping is a pure function of the page index, so concurrent WritePage
+// calls share no mutable state beyond the links, which serialize access
+// internally — parallel committer workers writing different pages occupy
+// different servers concurrently, which is exactly how a striped PFS
+// aggregates bandwidth.
 type SimPFS struct {
 	nic     *netsim.Link // may be nil (no client-side NIC modeled)
 	servers []*netsim.Link
-	stripe  int // rotates so consecutive pages hit different servers
 }
 
 // NewSimPFS returns a parallel file system client. nic may be nil; servers

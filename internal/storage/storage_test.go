@@ -3,14 +3,18 @@ package storage
 import (
 	"bytes"
 	"errors"
+	"sync"
 	"testing"
 
 	"repro/internal/compress"
 	"repro/internal/util"
 )
 
-// memSink records pages per backend for decorator tests.
+// memSink records pages per backend for decorator tests. Like every real
+// Backend it guards its state: decorators are exercised with concurrent
+// committer workers.
 type memSink struct {
+	mu     sync.Mutex
 	pages  map[[2]uint64][]byte // (epoch, page) -> data
 	sizes  []int
 	sealed []uint64
@@ -20,8 +24,13 @@ type memSink struct {
 func newMemSink() *memSink { return &memSink{pages: map[[2]uint64][]byte{}} }
 
 func (m *memSink) WritePage(epoch uint64, page int, data []byte, size int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.err != nil {
 		return m.err
+	}
+	if m.pages == nil {
+		m.pages = map[[2]uint64][]byte{}
 	}
 	cp := append([]byte(nil), data...)
 	m.pages[[2]uint64{epoch, uint64(page)}] = cp
@@ -30,11 +39,26 @@ func (m *memSink) WritePage(epoch uint64, page int, data []byte, size int) error
 }
 
 func (m *memSink) EndEpoch(epoch uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.err != nil {
 		return m.err
 	}
 	m.sealed = append(m.sealed, epoch)
 	return nil
+}
+
+// page returns the recorded content of (epoch, page).
+func (m *memSink) page(epoch uint64, page int) []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pages[[2]uint64{epoch, uint64(page)}]
+}
+
+func (m *memSink) setErr(err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.err = err
 }
 
 func TestTracingStoreRecordsOrder(t *testing.T) {
@@ -118,7 +142,7 @@ func TestReplicatedStoreWritesAll(t *testing.T) {
 			t.Errorf("replica %d missing data", i)
 		}
 	}
-	b.err = errors.New("disk died")
+	b.setErr(errors.New("disk died"))
 	if err := rs.WritePage(3, 2, data, 2); err == nil {
 		t.Error("replica failure not surfaced")
 	}
