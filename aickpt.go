@@ -84,7 +84,10 @@ func coreStrategy(s Strategy) core.Strategy {
 // concurrently for pages of the same epoch, so implementations must
 // synchronize shared state. Each page is written at most once per epoch,
 // EndEpoch is never concurrent with that epoch's WritePage calls, and the
-// data slice is only valid until the call returns. Custom Store backends
+// data slice is only valid until the call returns — the runtime recycles
+// copy-on-write page buffers into a pool the moment WritePage returns, so
+// a Store that retains data past its return will observe the buffer being
+// overwritten by a later fault. Copy what you keep. Custom Store backends
 // default to the serial committer; set CommitWorkers explicitly once the
 // backend honors this contract.
 type Store interface {

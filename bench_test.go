@@ -283,6 +283,46 @@ func BenchmarkAdaptiveSelectorBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkCommitHotPath measures the full steady-state commit pipeline —
+// fault trap, epoch rotation, off-critical-path selector build, inline
+// content hash, pooled DEFLATE encode, record framing — through the public
+// runtime into an in-memory repository. allocs/op (divided by pages/ckpt)
+// is the headline: the per-page paths are pooled and must not allocate in
+// steady state.
+func BenchmarkCommitHotPath(b *testing.B) {
+	repo := ckpt.NewRepository(&ckpt.MemFS{}, 4096)
+	repo.SetCodec(compress.Flate)
+	rt, err := New(Options{PageSize: 4096, Store: repo, CowBuffer: 1 << 24, CommitWorkers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	const pages = 512
+	region := rt.MallocProtected(pages * 4096)
+	buf := make([]byte, 4096)
+	fill := func(p, e int) {
+		for j := range buf {
+			buf[j] = byte(p*31 + e*7 + j%13)
+		}
+		region.Write(p*4096, buf)
+	}
+	for p := 0; p < pages; p++ { // warm pools and bookkeeping
+		fill(p, 0)
+	}
+	rt.Checkpoint()
+	rt.WaitIdle()
+	b.SetBytes(pages * 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p := 0; p < pages; p++ {
+			fill(p, i+1)
+		}
+		rt.Checkpoint()
+		rt.WaitIdle()
+	}
+	b.ReportMetric(float64(pages), "pages/ckpt")
+}
+
 // BenchmarkRepositoryWrite measures the durable page-commit path (record
 // framing + hashing + buffered write) into an in-memory FS.
 func BenchmarkRepositoryWrite(b *testing.B) {
@@ -315,7 +355,8 @@ func BenchmarkErasureEncode(b *testing.B) {
 }
 
 // BenchmarkCompressPage measures DEFLATE page compression of typical
-// floating-point-like content.
+// floating-point-like content through the pooled steady-state path
+// (recycled writer state, caller-supplied output buffer).
 func BenchmarkCompressPage(b *testing.B) {
 	rng := util.NewRNG(3)
 	page := make([]byte, 4096)
@@ -325,10 +366,11 @@ func BenchmarkCompressPage(b *testing.B) {
 			page[i+j] = byte(v >> (8 * j))
 		}
 	}
+	dst := make([]byte, 0, 4096+128)
 	b.SetBytes(4096)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		compress.Encode(compress.Flate, page)
+		compress.EncodeInto(compress.Flate, page, dst)
 	}
 }
 

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchRecord is one machine-readable benchmark result. The -json flag
+// appends records to a JSON-array file (BENCH_<n>.json by convention) so
+// successive PRs can track a performance trajectory without re-parsing
+// human-oriented output.
+type BenchRecord struct {
+	// Scenario names the aickpt-bench scenario that produced the record.
+	Scenario string `json:"scenario"`
+	// Case distinguishes sweep points within one scenario (e.g. a worker
+	// count or a dirty-set size).
+	Case string `json:"case,omitempty"`
+	// Config echoes the scenario parameters the record was measured under.
+	Config map[string]any `json:"config,omitempty"`
+	// Metrics holds the measured quantities; keys are unit-suffixed
+	// (pages_per_sec, mb_per_sec, ns, allocs_per_page, ...).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// appendBenchRecords appends recs to the JSON array in path, creating the
+// file when absent.
+func appendBenchRecords(path string, recs ...BenchRecord) error {
+	var all []BenchRecord
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &all); err != nil {
+			return fmt.Errorf("bench json %s exists but is not a record array: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	all = append(all, recs...)
+	data, err := json.MarshalIndent(all, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeBenchJSON is the shared -json sink: a no-op when the flag is unset,
+// fatal on write failure (a perf-tracking run with a vanished record is
+// worse than a loud one).
+func writeBenchJSON(path string, recs ...BenchRecord) {
+	if path == "" {
+		return
+	}
+	if err := appendBenchRecords(path, recs...); err != nil {
+		fmt.Fprintln(os.Stderr, "bench json:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %d record(s) to %s\n", len(recs), path)
+}

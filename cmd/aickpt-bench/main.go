@@ -25,7 +25,11 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "synthetic", "scenario: synthetic (Fig 2 benchmark), tiers (multi-level hierarchy under failures), chain (dedup + compaction vs chain growth), parallel (commit-pipeline worker scaling)")
+	scenario := flag.String("scenario", "synthetic", "scenario: synthetic (Fig 2 benchmark), tiers (multi-level hierarchy under failures), chain (dedup + compaction vs chain growth), parallel (commit-pipeline worker scaling), hotpath (real-time commit-path throughput and blocked time)")
+	jsonPath := flag.String("json", "", "append machine-readable result records to this JSON file (hotpath and parallel scenarios)")
+	hotPages := flag.Int("hotpath-pages", 2048, "hotpath scenario: working-set pages (4 KB each)")
+	hotEpochs := flag.Int("hotpath-epochs", 8, "hotpath scenario: measured checkpoints per sweep point")
+	hotWorkers := flag.Int("hotpath-workers", 1, "hotpath scenario: commit workers")
 	patternFlag := flag.String("pattern", "ascending", "access pattern: ascending, random, descending")
 	strategyFlag := flag.String("strategy", "adaptive", "approach: adaptive, no-pattern, sync")
 	scale := flag.Int("scale", experiments.ScaleBench, "memory division factor (1 = 256 MB region)")
@@ -49,7 +53,12 @@ func main() {
 	}
 
 	if *scenario == "parallel" {
-		parallelScenario(*parPages, *parEpochs, *parServers, *parInterfere, *parWorkers)
+		parallelScenario(*parPages, *parEpochs, *parServers, *parInterfere, *parWorkers, *jsonPath)
+		return
+	}
+
+	if *scenario == "hotpath" {
+		hotpathScenario(*hotPages, *hotEpochs, *hotWorkers, *jsonPath)
 		return
 	}
 

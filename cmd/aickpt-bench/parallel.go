@@ -24,7 +24,7 @@ import (
 // sweep point's restored image is compared bit for bit against the serial
 // baseline — the parallel pipeline must change performance only, never the
 // chain's content.
-func parallelScenario(pages, epochs, servers, interfere int, workerList string) {
+func parallelScenario(pages, epochs, servers, interfere int, workerList, jsonPath string) {
 	workers, err := parseWorkerList(workerList)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "parallel:", err)
@@ -92,6 +92,31 @@ func parallelScenario(pages, epochs, servers, interfere int, workerList string) 
 			}
 		}
 	}
+
+	recs := make([]BenchRecord, 0, len(results))
+	for _, r := range results {
+		rec := BenchRecord{
+			Scenario: "parallel",
+			Case:     fmt.Sprintf("workers%d", r.workers),
+			Config: map[string]any{
+				"pages": pages, "epochs": epochs, "servers": servers,
+				"interfere": interfere, "workers": r.workers,
+			},
+			Metrics: map[string]float64{
+				"flush_time_ns": float64(r.flushTime.Nanoseconds()),
+				"flush_bytes":   float64(r.flushBytes),
+				"wait_time_ns":  float64(r.waitTime.Nanoseconds()),
+				"waits":         float64(r.waits),
+			},
+		}
+		if base.workers == 1 {
+			// Only meaningful when the sweep's first point is the serial
+			// committer; an arbitrary first worker count is not "serial".
+			rec.Metrics["speedup_over_serial"] = float64(base.flushTime) / float64(r.flushTime)
+		}
+		recs = append(recs, rec)
+	}
+	writeBenchJSON(jsonPath, recs...)
 }
 
 func parseWorkerList(s string) ([]int, error) {

@@ -1,0 +1,100 @@
+package ckpt
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/util"
+)
+
+// TestWritePageDedupFastPathZeroAlloc gates the repository's steady-state
+// dedup path at zero allocations: once the per-epoch bookkeeping (manifest
+// Refs, pending map) has been grown by earlier epochs and recycled, a page
+// write whose content matches the newest chain entry must not touch the
+// heap — it hashes inline, consults the index and appends a Ref into
+// pre-grown storage.
+func TestWritePageDedupFastPathZeroAlloc(t *testing.T) {
+	if util.RaceEnabled {
+		t.Skip("race mode bypasses sync.Pool; allocation gates do not apply")
+	}
+	const n = 2048
+	const pageSize = 4096
+	fs := &MemFS{}
+	repo := NewRepository(fs, pageSize)
+	page := bytes.Repeat([]byte{7}, pageSize)
+	write := func(epoch uint64, p int) {
+		t.Helper()
+		if err := repo.WritePage(epoch, p, page, pageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Epoch 1 stores page 0 physically; every later identical write
+	// dedups against it. Epoch 2 is pure dedup and grows the Ref/pending
+	// storage that epoch 3 then reuses.
+	for e := uint64(1); e <= 2; e++ {
+		for p := 0; p < n; p++ {
+			write(e, p)
+		}
+		if err := repo.EndEpoch(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := 0
+	allocs := testing.AllocsPerRun(n/2, func() {
+		write(3, p)
+		p++
+	})
+	if err := repo.EndEpoch(3); err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("dedup fast path allocated %.2f times per run, want 0", allocs)
+	}
+	// Epoch 1 stores every page physically (dedup is per page against that
+	// page's newest chain entry); epochs 2 and 3 must be pure dedup.
+	st := repo.DedupStats()
+	if want := n + n/2 + 1; st.PagesDeduped != want {
+		t.Fatalf("%d pages deduped, want %d (test drove the wrong path)", st.PagesDeduped, want)
+	}
+}
+
+// TestEpochScratchRecyclingKeepsChainsCorrect: recycling the manifest
+// slices and pending map across epochs must not leak one epoch's
+// bookkeeping into the next — distinct content per epoch restores bit for
+// bit.
+func TestEpochScratchRecyclingKeepsChainsCorrect(t *testing.T) {
+	const pages = 16
+	const pageSize = 64
+	fs := &MemFS{}
+	repo := NewRepository(fs, pageSize)
+	for e := uint64(1); e <= 5; e++ {
+		for p := 0; p < pages; p++ {
+			content := bytes.Repeat([]byte{byte(e), byte(p)}, pageSize/2)
+			if p%3 == 0 {
+				content = bytes.Repeat([]byte{0xee}, pageSize) // dedups after epoch 1
+			}
+			if err := repo.WritePage(e, p, content, pageSize); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := repo.EndEpoch(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	im, err := Restore(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Epoch != 5 {
+		t.Fatalf("restored epoch %d, want 5", im.Epoch)
+	}
+	for p := 0; p < pages; p++ {
+		want := bytes.Repeat([]byte{5, byte(p)}, pageSize/2)
+		if p%3 == 0 {
+			want = bytes.Repeat([]byte{0xee}, pageSize)
+		}
+		if !bytes.Equal(im.Pages[p], want) {
+			t.Errorf("page %d: restored %x, want %x", p, im.Pages[p][:4], want[:4])
+		}
+	}
+}

@@ -4,9 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	iofs "io/fs"
 	"strings"
+
+	"repro/internal/util"
 )
 
 // Format v2 extends the v1 manifest with per-page content hashes (enabling
@@ -66,11 +67,10 @@ func manifestFile(m Manifest) string {
 	return manifestName(m.Epoch)
 }
 
-func contentHash(data []byte) uint64 {
-	h := fnv.New64a()
-	h.Write(data)
-	return h.Sum64()
-}
+// contentHash is the FNV-64a hash of raw page content, computed inline:
+// the commit path hashes every page and must not allocate a hasher per
+// page. Bit-identical to the hash/fnv-based implementation it replaces.
+func contentHash(data []byte) uint64 { return util.Fnv64a(data) }
 
 // Chain is the logical state of a repository: the newest committed base (if
 // any), the live epochs after it, and the garbage left behind by earlier

@@ -5,13 +5,13 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"sort"
 	"strings"
 	"sync"
 
 	"repro/internal/compress"
+	"repro/internal/util"
 )
 
 // Record format inside epoch-%08d.pages (and base-%08d-%08d.pages):
@@ -75,6 +75,9 @@ type segmentWriter struct {
 	codec    uint8
 	f        io.WriteCloser
 	buf      *bufio.Writer
+	hdr      [20]byte // record-header scratch: a stack header escapes into
+	// the underlying writer interface on bufio pass-through, costing one
+	// heap allocation per record
 }
 
 func (w *segmentWriter) begin(f io.WriteCloser) error {
@@ -95,13 +98,11 @@ func (w *segmentWriter) writeRecord(man *Manifest, page int, data []byte, rawHas
 // writeEncoded appends one record whose payload is already codec-encoded
 // (or verbatim for codec None) and updates the manifest bookkeeping.
 func (w *segmentWriter) writeEncoded(man *Manifest, page int, payload []byte, rawHash uint64) error {
-	h := fnv.New64a()
-	h.Write(payload)
-	var hdr [20]byte
+	hdr := w.hdr[:]
 	binary.LittleEndian.PutUint32(hdr[0:], recordMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(page))
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(payload)))
-	binary.LittleEndian.PutUint64(hdr[12:], h.Sum64())
+	binary.LittleEndian.PutUint64(hdr[12:], util.Fnv64a(payload))
 	if _, err := w.buf.Write(hdr[:]); err != nil {
 		return fmt.Errorf("write header: %w", err)
 	}
@@ -115,11 +116,28 @@ func (w *segmentWriter) writeEncoded(man *Manifest, page int, payload []byte, ra
 	return nil
 }
 
+// payloadPool recycles encode-output and staging-copy buffers across pages
+// and epochs: every page flushed used to allocate a fresh buffer that died
+// milliseconds later. Buffers are returned once their record reaches the
+// segment writer (or the epoch fails).
+var payloadPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // recordJob is one encoded page record staged for the segment writer.
 type recordJob struct {
 	page    int
 	payload []byte // codec-encoded, owned by the job
 	rawHash uint64
+	buf     *[]byte // pooled backing buffer to release after the write, or nil
+}
+
+// release returns the job's pooled buffer, if any, once the payload is no
+// longer referenced.
+func (j *recordJob) release() {
+	if j.buf != nil {
+		*j.buf = j.payload[:0]
+		payloadPool.Put(j.buf)
+		j.buf = nil
+	}
 }
 
 // epochStage is the staging buffer between concurrent page committers and
@@ -146,6 +164,8 @@ type epochStage struct {
 	w       *segmentWriter
 	man     *Manifest
 
+	spare []recordJob // drained batch array recycled into the next queue
+
 	done chan struct{} // closed when the writer has drained and exited
 }
 
@@ -168,13 +188,21 @@ func (s *epochStage) submit(j recordJob, borrowed bool) error {
 		s.mu.Unlock()
 		err := s.w.writeEncoded(s.man, j.page, j.payload, j.rawHash)
 		s.writeMu.Unlock()
+		j.release()
 		if err != nil {
 			s.fail(err)
 		}
 		return err
 	}
 	if borrowed {
-		j.payload = append([]byte(nil), j.payload...)
+		// Copy the caller-owned payload into a pooled buffer; the writer
+		// goroutine releases it after the record lands in the segment.
+		buf := payloadPool.Get().(*[]byte)
+		j.payload = append((*buf)[:0], j.payload...)
+		j.buf = buf
+	}
+	if s.queue == nil && s.spare != nil {
+		s.queue, s.spare = s.spare, nil
 	}
 	s.queue = append(s.queue, j)
 	s.cond.Signal()
@@ -207,16 +235,27 @@ func (s *epochStage) run() {
 			return
 		}
 		s.writeMu.Lock()
-		for _, j := range batch {
-			if failed {
-				continue // keep draining; the first error decides the epoch
+		for i := range batch {
+			j := &batch[i]
+			if !failed { // keep draining past an error; it decides the epoch
+				if err := s.w.writeEncoded(s.man, j.page, j.payload, j.rawHash); err != nil {
+					s.fail(err)
+					failed = true
+				}
 			}
-			if err := s.w.writeEncoded(s.man, j.page, j.payload, j.rawHash); err != nil {
-				s.fail(err)
-				failed = true
-			}
+			j.release()
 		}
 		s.writeMu.Unlock()
+		if len(batch) > 0 {
+			// Recycle the drained batch array into the next queue (stale
+			// payload pointers cleared so the pool owns them exclusively).
+			clear(batch)
+			s.mu.Lock()
+			if s.spare == nil || cap(batch) > cap(s.spare) {
+				s.spare = batch[:0]
+			}
+			s.mu.Unlock()
+		}
 	}
 }
 
@@ -346,6 +385,35 @@ type Repository struct {
 	sizeChecked bool       // existing chain's page size validated against ours
 	stats       DedupStats // sealed epochs only
 	curStats    DedupStats // open epoch; folded into stats at seal, dropped on abort
+
+	// Per-epoch bookkeeping recycled across epochs: the manifest's slices
+	// and the pending map are dropped by value at each seal, but their
+	// backing storage is reclaimed here after the manifest is on disk, so
+	// steady-state epochs append and insert without growing the heap.
+	pagesScratch   []int
+	hashesScratch  []uint64
+	refsScratch    []PageRef
+	pendingScratch map[int]pageIdx
+}
+
+// reclaimEpochScratchLocked takes the closed epoch's manifest slices and
+// pending map back as scratch for the next epoch. Only call once the
+// manifest is durably encoded (or discarded): the recycled arrays will be
+// overwritten.
+func (r *Repository) reclaimEpochScratchLocked() {
+	if r.curMan.Pages != nil {
+		r.pagesScratch = r.curMan.Pages[:0]
+	}
+	if r.curMan.Hashes != nil {
+		r.hashesScratch = r.curMan.Hashes[:0]
+	}
+	if r.curMan.Refs != nil {
+		r.refsScratch = r.curMan.Refs[:0]
+	}
+	if r.pending != nil {
+		clear(r.pending)
+		r.pendingScratch = r.pending
+	}
 }
 
 // NewRepository returns a repository writing pageSize-sized pages to fs,
@@ -505,9 +573,18 @@ func (r *Repository) WritePage(epoch uint64, page int, data []byte, size int) er
 			r.mu.Unlock()
 			return err
 		}
-		r.curMan = Manifest{Epoch: epoch, PageSize: r.pageSize, Codec: uint8(r.codec), Format: FormatV2}
+		r.curMan = Manifest{
+			Epoch: epoch, PageSize: r.pageSize, Codec: uint8(r.codec), Format: FormatV2,
+			// Recycled backing arrays; empty until this epoch appends.
+			Pages: r.pagesScratch, Hashes: r.hashesScratch, Refs: r.refsScratch,
+		}
+		r.pagesScratch, r.hashesScratch, r.refsScratch = nil, nil, nil
 		if r.dedup {
-			r.pending = make(map[int]pageIdx)
+			if r.pendingScratch != nil {
+				r.pending, r.pendingScratch = r.pendingScratch, nil
+			} else {
+				r.pending = make(map[int]pageIdx)
+			}
 		}
 		r.curOpen = true
 	}
@@ -550,11 +627,17 @@ func (r *Repository) WritePage(epoch uint64, page int, data []byte, size int) er
 	// goroutine — the record then outlives this call, while the caller's
 	// page becomes writable again the moment the committer marks it done —
 	// the stage copies it; the synchronous fast path writes it copy-free.
-	payload, borrowed := data, true
+	// Codec output goes into a pooled buffer released once the record
+	// reaches the segment, so steady-state encoding allocates nothing.
+	job := recordJob{page: page, payload: data, rawHash: rawHash}
+	borrowed := true
 	if codec != compress.None {
-		payload, borrowed = compress.Encode(codec, data), false
+		buf := payloadPool.Get().(*[]byte)
+		job.payload = compress.EncodeInto(codec, data, *buf)
+		job.buf = buf
+		borrowed = false
 	}
-	if err := stage.submit(recordJob{page: page, payload: payload, rawHash: rawHash}, borrowed); err != nil {
+	if err := stage.submit(job, borrowed); err != nil {
 		return fmt.Errorf("ckpt: %w", err)
 	}
 	return nil
@@ -583,10 +666,12 @@ func (r *Repository) EndEpoch(epoch uint64) error {
 			// A record never reached the segment: the epoch cannot seal.
 			// Discard it entirely — an unsealed epoch is invisible to
 			// restore, which is the crash-consistency contract — and drop
-			// its staged stats with it.
+			// its staged stats with it (the bookkeeping storage is still
+			// reclaimed: the discarded manifest is never read again).
 			r.w.abort()
 			r.w = nil
 			r.curOpen = false
+			r.reclaimEpochScratchLocked()
 			r.pending = nil
 			r.curStats = DedupStats{}
 			return fmt.Errorf("ckpt: %w", err)
@@ -613,6 +698,9 @@ func (r *Repository) EndEpoch(epoch uint64) error {
 	r.curStats = DedupStats{}
 	r.curOpen = false
 	r.w = nil
+	// The manifest is on disk and the index merged: the epoch's slices and
+	// pending map become the next epoch's pre-grown scratch.
+	r.reclaimEpochScratchLocked()
 	r.pending = nil
 	return nil
 }
@@ -633,6 +721,7 @@ func (r *Repository) Abort() {
 		}
 		r.curOpen = false
 		r.w = nil
+		r.reclaimEpochScratchLocked()
 		r.pending = nil
 		r.curStats = DedupStats{}
 	}

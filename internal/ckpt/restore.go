@@ -3,11 +3,11 @@ package ckpt
 import (
 	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"strings"
 
 	"repro/internal/compress"
+	"repro/internal/util"
 )
 
 // Image is a restored memory image: the newest committed content of every
@@ -85,6 +85,11 @@ func readSegment(fs FS, m Manifest, visit func(page int, data []byte)) error {
 	}
 	defer f.Close()
 	var hdr [20]byte
+	// With a codec, the encoded payload is scratch (only the decoded copy
+	// reaches visit), so one recycled buffer serves every record; without
+	// one, the payload itself is handed to visit, which may retain it, so
+	// it must be freshly allocated per record.
+	var scratch []byte
 	count := 0
 	for {
 		_, err := io.ReadFull(f, hdr[:])
@@ -109,13 +114,19 @@ func readSegment(fs FS, m Manifest, visit func(page int, data []byte)) error {
 		if size < 0 || size > maxSize {
 			return fmt.Errorf("ckpt: epoch %d page %d: invalid size %d", m.Epoch, page, size)
 		}
-		data := make([]byte, size)
+		var data []byte
+		if m.Codec != 0 {
+			if cap(scratch) < size {
+				scratch = make([]byte, m.PageSize+1)
+			}
+			data = scratch[:size]
+		} else {
+			data = make([]byte, size)
+		}
 		if _, err := io.ReadFull(f, data); err != nil {
 			return fmt.Errorf("ckpt: epoch %d page %d: truncated payload: %w", m.Epoch, page, err)
 		}
-		h := fnv.New64a()
-		h.Write(data)
-		if h.Sum64() != want {
+		if util.Fnv64a(data) != want {
 			return fmt.Errorf("ckpt: epoch %d page %d: hash mismatch", m.Epoch, page)
 		}
 		if m.Codec != 0 {

@@ -4,13 +4,21 @@
 // images: zero-page elimination (scientific arrays are sparse right after
 // allocation) and DEFLATE for general content. Codecs are self-describing:
 // the first output byte names the codec so Decode needs no side channel.
+//
+// The codecs are built for the asynchronous commit path, which encodes and
+// decodes millions of short-lived pages: DEFLATE writer and reader state
+// (hundreds of KB each) is pooled and Reset between pages, and the Into
+// variants write into caller-supplied buffers, so the steady-state encode
+// and decode paths allocate nothing.
 package compress
 
 import (
 	"bytes"
 	"compress/flate"
+	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Codec identifies a compression algorithm.
@@ -26,51 +34,107 @@ const (
 	Flate Codec = 2
 )
 
+// sliceWriter is an io.Writer appending to a byte slice; the pooled flate
+// writers are Reset onto one so DEFLATE output lands directly in the
+// caller's buffer.
+type sliceWriter struct{ buf []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+// flateEncoder bundles a reusable DEFLATE writer with its output sink. A
+// flate.Writer holds ~600 KB of window and hash-chain state; constructing
+// one per page dwarfed the cost of the compression itself.
+type flateEncoder struct {
+	sw sliceWriter
+	w  *flate.Writer
+}
+
+var encPool = sync.Pool{New: func() any {
+	e := &flateEncoder{}
+	w, err := flate.NewWriter(&e.sw, flate.BestSpeed)
+	if err != nil {
+		panic(fmt.Sprintf("compress: flate.NewWriter: %v", err))
+	}
+	e.w = w
+	return e
+}}
+
+// flateDecoder bundles a reusable DEFLATE reader with its input source.
+type flateDecoder struct {
+	br bytes.Reader
+	r  io.ReadCloser
+}
+
+var decPool = sync.Pool{New: func() any {
+	d := &flateDecoder{}
+	d.br.Reset(nil)
+	d.r = flate.NewReader(&d.br)
+	return d
+}}
+
 // Encode compresses page with the requested codec and returns a
-// self-describing blob. Encode never fails: codecs that cannot shrink the
-// input fall back to a verbatim encoding.
+// self-describing blob in freshly allocated memory. Encode never fails:
+// codecs that cannot shrink the input fall back to a verbatim encoding.
 func Encode(codec Codec, page []byte) []byte {
+	return EncodeInto(codec, page, nil)
+}
+
+// EncodeInto is Encode writing into dst's backing array (dst's length is
+// ignored). The returned slice aliases dst when its capacity suffices —
+// 1+len(page) bytes for the verbatim fallback, a few spare bytes more for
+// DEFLATE's worst case — and is freshly grown otherwise, so a pooled buffer
+// of cap >= len(page)+64 makes steady-state encoding allocation-free. The
+// caller owns both dst and the result.
+func EncodeInto(codec Codec, page []byte, dst []byte) []byte {
+	dst = dst[:0]
 	switch codec {
 	case None:
-		return encodeRaw(page)
+		return encodeRawInto(page, dst)
 	case Zero, Flate:
 		if isZero(page) {
-			return []byte{byte(Zero)}
+			return append(dst, byte(Zero))
 		}
 		if codec == Zero {
-			return encodeRaw(page)
+			return encodeRawInto(page, dst)
 		}
-		var buf bytes.Buffer
-		buf.WriteByte(byte(Flate))
-		w, err := flate.NewWriter(&buf, flate.BestSpeed)
-		if err != nil {
-			return encodeRaw(page)
+		e := encPool.Get().(*flateEncoder)
+		e.sw.buf = append(dst, byte(Flate))
+		e.w.Reset(&e.sw)
+		_, err := e.w.Write(page)
+		if err == nil {
+			err = e.w.Close()
 		}
-		if _, err := w.Write(page); err != nil {
-			return encodeRaw(page)
+		out := e.sw.buf
+		e.sw.buf = nil
+		encPool.Put(e)
+		if err != nil || len(out) >= len(page)+1 {
+			return encodeRawInto(page, out)
 		}
-		if err := w.Close(); err != nil {
-			return encodeRaw(page)
-		}
-		if buf.Len() >= len(page)+1 {
-			return encodeRaw(page)
-		}
-		return buf.Bytes()
+		return out
 	default:
 		panic(fmt.Sprintf("compress: unknown codec %d", codec))
 	}
 }
 
-func encodeRaw(page []byte) []byte {
-	out := make([]byte, 1+len(page))
-	out[0] = byte(None)
-	copy(out[1:], page)
-	return out
+func encodeRawInto(page, dst []byte) []byte {
+	dst = append(dst[:0], byte(None))
+	return append(dst, page...)
 }
 
-// Decode reverses Encode. pageSize is the expected decoded length and is
-// validated.
+// Decode reverses Encode into freshly allocated memory. pageSize is the
+// expected decoded length and is validated.
 func Decode(blob []byte, pageSize int) ([]byte, error) {
+	return DecodeInto(blob, nil, pageSize)
+}
+
+// DecodeInto is Decode writing into dst's backing array (dst's length is
+// ignored). The returned slice aliases dst when cap(dst) >= pageSize and is
+// freshly allocated otherwise; with a recycled buffer the steady-state
+// decode path allocates nothing. The caller owns both dst and the result.
+func DecodeInto(blob []byte, dst []byte, pageSize int) ([]byte, error) {
 	if len(blob) == 0 {
 		return nil, fmt.Errorf("compress: empty blob")
 	}
@@ -79,42 +143,62 @@ func Decode(blob []byte, pageSize int) ([]byte, error) {
 		if len(blob)-1 != pageSize {
 			return nil, fmt.Errorf("compress: raw blob is %d bytes, want %d", len(blob)-1, pageSize)
 		}
-		out := make([]byte, pageSize)
-		copy(out, blob[1:])
-		return out, nil
+		return append(dst[:0], blob[1:]...), nil
 	case Zero:
 		if len(blob) != 1 {
 			return nil, fmt.Errorf("compress: malformed zero-page blob")
 		}
-		return make([]byte, pageSize), nil
+		out := grow(dst, pageSize)
+		clear(out)
+		return out, nil
 	case Flate:
-		r := flate.NewReader(bytes.NewReader(blob[1:]))
-		defer r.Close()
-		out := make([]byte, 0, pageSize)
-		buf := make([]byte, 4096)
-		for {
-			n, err := r.Read(buf)
-			out = append(out, buf[:n]...)
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				return nil, fmt.Errorf("compress: inflate: %w", err)
-			}
-			if len(out) > pageSize {
+		out := grow(dst, pageSize)
+		d := decPool.Get().(*flateDecoder)
+		d.br.Reset(blob[1:])
+		if err := d.r.(flate.Resetter).Reset(&d.br, nil); err != nil {
+			decPool.Put(d)
+			return nil, fmt.Errorf("compress: inflate: %w", err)
+		}
+		n, err := io.ReadFull(d.r, out)
+		switch err {
+		case nil:
+			// Page filled; any further output means the blob inflates past
+			// the page size.
+			var spill [1]byte
+			if k, _ := d.r.Read(spill[:]); k > 0 {
+				decPool.Put(d)
 				return nil, fmt.Errorf("compress: inflated size exceeds page size %d", pageSize)
 			}
+		case io.ErrUnexpectedEOF, io.EOF:
+			decPool.Put(d)
+			return nil, fmt.Errorf("compress: inflated to %d bytes, want %d", n, pageSize)
+		default:
+			decPool.Put(d)
+			return nil, fmt.Errorf("compress: inflate: %w", err)
 		}
-		if len(out) != pageSize {
-			return nil, fmt.Errorf("compress: inflated to %d bytes, want %d", len(out), pageSize)
-		}
+		decPool.Put(d)
 		return out, nil
 	default:
 		return nil, fmt.Errorf("compress: unknown codec byte %d", blob[0])
 	}
 }
 
+// grow returns a slice of length n over dst's backing array, allocating
+// only when dst's capacity is insufficient.
+func grow(dst []byte, n int) []byte {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]byte, n)
+}
+
 func isZero(p []byte) bool {
+	for len(p) >= 8 {
+		if binary.LittleEndian.Uint64(p) != 0 {
+			return false
+		}
+		p = p[8:]
+	}
 	for _, b := range p {
 		if b != 0 {
 			return false

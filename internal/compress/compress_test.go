@@ -86,3 +86,97 @@ func TestRoundTripQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Property: the Into variants round-trip through recycled buffers exactly
+// like the allocating entry points, for all codecs and arbitrary content.
+func TestIntoRoundTripQuick(t *testing.T) {
+	enc := make([]byte, 0, 64<<10)
+	dec := make([]byte, 0, 64<<10)
+	f := func(page []byte, c uint8) bool {
+		codec := Codec(c % 3)
+		blob := EncodeInto(codec, page, enc)
+		if ref := Encode(codec, page); !bytes.Equal(blob, ref) {
+			return false
+		}
+		got, err := DecodeInto(blob, dec, len(page))
+		return err == nil && bytes.Equal(got, page)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeIntoScrubsRecycledBuffer: a zero page decoded into a dirty
+// recycled buffer must come back all zero.
+func TestDecodeIntoScrubsRecycledBuffer(t *testing.T) {
+	dirty := bytes.Repeat([]byte{0xaa}, 4096)
+	got, err := DecodeInto([]byte{byte(Zero)}, dirty, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("byte %d = %#x after zero-page decode into dirty buffer", i, b)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncatedFlate(t *testing.T) {
+	page := bytes.Repeat([]byte("abcdefgh"), 512)
+	blob := Encode(Flate, page)
+	if Codec(blob[0]) != Flate {
+		t.Skip("content did not take the flate path")
+	}
+	if _, err := Decode(blob[:len(blob)/2], len(page)); err == nil {
+		t.Error("truncated flate blob accepted")
+	}
+	// A blob inflating past the page size must be rejected too.
+	if _, err := Decode(blob, len(page)/2); err == nil {
+		t.Error("oversized inflate accepted")
+	}
+}
+
+// Allocation gates for the steady-state encode/decode paths: with warm
+// pools and caller-supplied buffers, zero and incompressible pages must
+// encode and decode without allocating. (Compressible flate decode output
+// is also covered: the pooled reader state dominates there.)
+func TestEncodeDecodeZeroAlloc(t *testing.T) {
+	if util.RaceEnabled {
+		t.Skip("race mode bypasses sync.Pool; allocation gates do not apply")
+	}
+	zero := make([]byte, 4096)
+	r := util.NewRNG(3)
+	incompressible := make([]byte, 4096)
+	for i := range incompressible {
+		incompressible[i] = byte(r.Uint64())
+	}
+	buf := make([]byte, 0, 4096+128)
+	dec := make([]byte, 0, 4096)
+	zeroBlob := Encode(Flate, zero)
+	rawBlob := Encode(Flate, incompressible)
+
+	// Warm the codec pools before measuring.
+	EncodeInto(Flate, incompressible, buf)
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"encode-zero", func() { EncodeInto(Flate, zero, buf) }},
+		{"encode-incompressible", func() { EncodeInto(Flate, incompressible, buf) }},
+		{"decode-zero", func() {
+			if _, err := DecodeInto(zeroBlob, dec, 4096); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"decode-incompressible", func() {
+			if _, err := DecodeInto(rawBlob, dec, 4096); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(100, tc.f); allocs != 0 {
+			t.Errorf("%s: %.2f allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}

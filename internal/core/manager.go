@@ -57,13 +57,25 @@ type Manager struct {
 	lastDirty *util.Bitset
 
 	accessOrder int32
+	liveRanges  [][2]int // rotation scratch: live [first, end) page ranges
 
 	cow          map[int][]byte // page -> pre-write copy (nil value: phantom)
 	cowUsed      int
+	cowPool      [][]byte  // recycled COW page copies (bounded by CowSlots)
 	waited       pageQueue // pages the application is blocked on (WaitedPage)
 	liveCowQueue []int     // pages that took a COW slot this epoch
+	liveCowHead  int       // consumed prefix of liveCowQueue
 
-	sel selector
+	// The selectors are embedded and rebuilt in place each epoch, so the
+	// steady-state epoch setup allocates nothing. The adaptive selector is
+	// built lazily by the first committer worker to enter the epoch —
+	// off the application-blocking path — guarded by selReady/selBuilding.
+	sel         selector
+	adaptive    adaptiveSelector
+	ascend      ascendingSelector
+	selReady    bool         // current epoch's selector is built
+	selBuilding bool         // a worker is building it with m.mu released
+	selDirty    *util.Bitset // builder's dirty-set snapshot (reused scratch)
 
 	cur     EpochStats
 	history []EpochStats
@@ -199,9 +211,15 @@ func (m *Manager) Checkpoint() {
 	m.inProgress = true
 	switch m.cfg.Strategy {
 	case Adaptive:
-		m.sel = newAdaptiveSelector(m.lastDirty, m.lastAT, m.lastIndex)
+		// Only name the selector here: the O(dirty) class build runs on
+		// the first committer worker to enter the epoch, after Checkpoint
+		// has returned, so the application never blocks on it.
+		m.sel = &m.adaptive
+		m.selReady = false
 	case NoPattern:
-		m.sel = &ascendingSelector{}
+		m.ascend = ascendingSelector{}
+		m.sel = &m.ascend
+		m.selReady = true
 	}
 	m.committerKick.Broadcast()
 	m.mu.Unlock()
@@ -222,17 +240,31 @@ func (m *Manager) rotateLocked(start, blocked time.Duration) {
 	m.index, m.lastIndex = m.lastIndex, m.index
 	m.accessOrder = 0
 	m.waited.reset()
+	// Reset the live-COW queue to its backing array's start: the selector
+	// consumes it through liveCowHead, so one array serves every epoch
+	// instead of the pop-by-reslice re-growing it each time.
 	m.liveCowQueue = m.liveCowQueue[:0]
-	// Re-protect every live page and reset its access record.
-	m.space.ForEachLivePage(func(p int) {
-		m.space.Protect(p)
-		m.at[p] = Untouched
-		m.index[p] = 0
+	m.liveCowHead = 0
+	// Re-protect every live page and reset its access record, one region
+	// batch at a time (a per-page Protect loop would redo the region
+	// lookup for every page while the application is blocked on the write
+	// gate).
+	m.liveRanges = m.liveRanges[:0]
+	m.space.ProtectLiveRegions(func(first, count int) {
+		clear(m.at[first : first+count])
+		clear(m.index[first : first+count])
+		m.liveRanges = append(m.liveRanges, [2]int{first, first + count})
 	})
-	// Schedule the dirty pages of the closing epoch; drop freed pages.
+	// Schedule the dirty pages of the closing epoch; drop freed pages. Both
+	// the dirty set and the range list are ascending, so one merged scan
+	// decides liveness without a per-page region lookup.
 	committed := 0
+	ri := 0
 	for p := m.lastDirty.NextSet(0); p >= 0; p = m.lastDirty.NextSet(p + 1) {
-		if !m.space.Live(p) {
+		for ri < len(m.liveRanges) && p >= m.liveRanges[ri][1] {
+			ri++
+		}
+		if ri == len(m.liveRanges) || p < m.liveRanges[ri][0] {
 			m.lastDirty.Clear(p)
 			continue
 		}
@@ -305,7 +337,37 @@ func (m *Manager) committer() {
 func (m *Manager) flushEpochLocked() {
 	epoch := m.epoch
 	pageSize := m.space.PageSize()
-	for {
+	// Build the epoch's selector if it is not ready yet: the first worker
+	// in claims the build and runs it with the lock released, so a
+	// fault-handler caller is never blocked behind the bucketing. The
+	// inputs are snapshotted under the lock first: the *contents* of
+	// LastDirty/LastAT/LastIndex are frozen between rotation and the first
+	// page pull (no page is pulled before selReady), but a fault on a page
+	// past the tracked range makes ensureLocked swap in grown arrays, so
+	// the builder must not chase the live slice headers. The snapshot
+	// headers stay valid because growth copies into fresh arrays and never
+	// writes the old ones; the bitset is copied into a reusable scratch
+	// because Grow mutates the bitset struct in place. Late workers wait.
+	for !m.selReady && m.inProgress && m.epoch == epoch {
+		if m.selBuilding {
+			m.committerKick.Wait()
+			continue
+		}
+		m.selBuilding = true
+		if m.selDirty == nil || m.selDirty.Len() != m.lastDirty.Len() {
+			m.selDirty = m.lastDirty.Clone()
+		} else {
+			m.selDirty.CopyFrom(m.lastDirty)
+		}
+		dirty, lastAT, lastIndex := m.selDirty, m.lastAT, m.lastIndex
+		m.mu.Unlock()
+		m.adaptive.build(dirty, lastAT, lastIndex)
+		m.mu.Lock()
+		m.selBuilding = false
+		m.selReady = true
+		m.committerKick.Broadcast()
+	}
+	for m.inProgress && m.epoch == epoch {
 		p := m.sel.next(m, m.lastDirty)
 		if p < 0 {
 			break
@@ -336,6 +398,13 @@ func (m *Manager) flushEpochLocked() {
 			// A slot was released: writers blocked for lack of slots
 			// could proceed... but per Algorithm 2 they wait for their
 			// page; waking them re-checks the predicate harmlessly.
+			if data != nil {
+				// Recycle the copy for the next COW fault: the store
+				// contract makes data invalid past WritePage's return, so
+				// nothing references it anymore. The pool never exceeds
+				// CowSlots entries (at most that many copies exist at once).
+				m.cowPool = append(m.cowPool, data)
+			}
 		}
 		m.state[p] = Processed
 		m.inflight--
@@ -381,10 +450,18 @@ func (m *Manager) handleFault(page int) {
 	switch {
 	case m.state[page] == Scheduled && m.cowUsed < m.cfg.CowSlots:
 		// Take a copy-on-write slot: the committer will flush the copy,
-		// the application writes the original immediately.
+		// the application writes the original immediately. Copies come
+		// from the recycle pool when one is free — the fault path then
+		// allocates only while the pool warms up.
 		var cp []byte
 		if data := m.space.PageData(page); data != nil {
-			cp = make([]byte, len(data))
+			if n := len(m.cowPool); n > 0 {
+				cp = m.cowPool[n-1][:len(data)]
+				m.cowPool[n-1] = nil
+				m.cowPool = m.cowPool[:n-1]
+			} else {
+				cp = make([]byte, len(data))
+			}
 			copy(cp, data)
 		}
 		m.cow[page] = cp

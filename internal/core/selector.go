@@ -1,16 +1,27 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/util"
 )
 
 // selector produces the next page to commit (SELECT_NEXT_PAGE, Algorithm 4).
-// Selectors are rebuilt at every checkpoint from the previous epoch's
-// statistics and consulted with the manager's mutex held — possibly by
+// Selectors are consulted with the manager's mutex held — possibly by
 // several committer workers in turn, each of which removes the page it was
 // handed from the remaining set before releasing the lock.
+//
+// Construction happens off the application-blocking path: Checkpoint() only
+// names the selector for the new epoch, and the first committer worker to
+// enter the epoch builds it (see Manager.flushEpochLocked) with the manager
+// lock *released*. That is safe because the build reads a locked snapshot
+// of the previous epoch's structures: the *contents* of LastDirty, LastAT
+// and LastIndex are frozen between rotation and the first page pull (the
+// fault handler writes the *current* epoch's arrays, committer workers only
+// clear LastDirty bits after pulling from a built selector, and rotation
+// waits for the in-flight epoch to finish), but a fault on a page past the
+// tracked range grows those containers, so the builder captures the slice
+// headers and a bitset copy under the lock instead of chasing the live
+// fields. Workers arriving while the build is in progress block until it
+// completes, so no page is pulled from a half-built order.
 type selector interface {
 	// next returns the next page to commit, or -1 when the remaining set
 	// is empty. remaining is the live LastDirty set: pages already pulled
@@ -63,12 +74,21 @@ func (s *ascendingSelector) next(m *Manager, remaining *util.Bitset) int {
 //     AVOIDED — each class ordered by earliest previous access (LastIndex),
 //  4. any remaining pages (previous type AFTER, or no history), also by
 //     earliest previous access, ties in ascending page order.
+//
+// The zero value is an empty selector; build fills it. Its slices are
+// retained scratch: a Manager embeds one adaptiveSelector and rebuilds it
+// in place every adaptive epoch, so the steady-state build allocates
+// nothing once the scratch reaches the working-set size.
 type adaptiveSelector struct {
-	// classes[0..3]: WAIT, COW, AVOIDED, rest — page IDs sorted by
+	// classes[0..3]: WAIT, COW, AVOIDED, rest — page IDs ordered by
 	// (LastIndex, page). Consumed front to back, skipping pages no longer
 	// in the remaining set.
 	classes [4][]int32
 	heads   [4]int
+
+	// build scratch, reused across epochs.
+	count []int32 // per-LastIndex page counts, then placement offsets
+	order []int32 // dirty pages sorted by (LastIndex, page)
 }
 
 // BuildAdaptiveSelectorForBench exposes adaptive-selector construction to
@@ -92,25 +112,74 @@ func classOf(at AccessType) int {
 	}
 }
 
-// newAdaptiveSelector partitions the dirty set by previous-epoch access
-// type. lastAT and lastIndex are indexed by page ID.
+// newAdaptiveSelector builds a fresh selector (tests and the build
+// benchmark); the manager reuses its embedded selector via build instead.
 func newAdaptiveSelector(dirty *util.Bitset, lastAT []AccessType, lastIndex []int32) *adaptiveSelector {
 	s := &adaptiveSelector{}
-	for p := dirty.NextSet(0); p >= 0; p = dirty.NextSet(p + 1) {
-		c := classOf(lastAT[p])
-		s.classes[c] = append(s.classes[c], int32(p))
-	}
-	for c := range s.classes {
-		cls := s.classes[c]
-		sort.Slice(cls, func(i, j int) bool {
-			a, b := cls[i], cls[j]
-			if lastIndex[a] != lastIndex[b] {
-				return lastIndex[a] < lastIndex[b]
-			}
-			return a < b
-		})
-	}
+	s.build(dirty, lastAT, lastIndex)
 	return s
+}
+
+// build partitions the dirty set by previous-epoch access type, each class
+// ordered by (LastIndex, page). lastAT and lastIndex are indexed by page ID.
+//
+// The order is produced by a counting sort over LastIndex, not a comparison
+// sort: the manager assigns LastIndex as a dense access rank (1..n in first-
+// write order), so bucketing pages by rank and reading the buckets back in
+// rank order yields the class orders directly in O(dirty + maxRank) — the
+// previous sort.Slice implementation spent O(n log n) with reflection-based
+// swaps on an already-countable key. Equal ranks (which the manager never
+// produces, but test histories may) tie-break by ascending page ID exactly
+// like the comparison sort did, because pages are placed in ascending
+// bitset order.
+func (s *adaptiveSelector) build(dirty *util.Bitset, lastAT []AccessType, lastIndex []int32) {
+	for c := range s.classes {
+		s.classes[c] = s.classes[c][:0]
+		s.heads[c] = 0
+	}
+	n, maxIdx := 0, int32(0)
+	for p := dirty.NextSet(0); p >= 0; p = dirty.NextSet(p + 1) {
+		n++
+		if lastIndex[p] > maxIdx {
+			maxIdx = lastIndex[p]
+		}
+	}
+	if n == 0 {
+		return
+	}
+	if cap(s.count) < int(maxIdx)+1 {
+		s.count = make([]int32, maxIdx+1)
+	}
+	count := s.count[:maxIdx+1]
+	clear(count)
+	rank := func(p int) int32 {
+		if idx := lastIndex[p]; idx > 0 {
+			return idx
+		}
+		return 0
+	}
+	for p := dirty.NextSet(0); p >= 0; p = dirty.NextSet(p + 1) {
+		count[rank(p)]++
+	}
+	var total int32
+	for i := range count {
+		c := count[i]
+		count[i] = total
+		total += c
+	}
+	if cap(s.order) < n {
+		s.order = make([]int32, n)
+	}
+	order := s.order[:n]
+	for p := dirty.NextSet(0); p >= 0; p = dirty.NextSet(p + 1) {
+		r := rank(p)
+		order[count[r]] = int32(p)
+		count[r]++
+	}
+	for _, p := range order {
+		c := classOf(lastAT[p])
+		s.classes[c] = append(s.classes[c], p)
+	}
 }
 
 func (s *adaptiveSelector) next(m *Manager, remaining *util.Bitset) int {
@@ -126,13 +195,16 @@ func (s *adaptiveSelector) next(m *Manager, remaining *util.Bitset) int {
 		// Already pulled or committed through another path; drop the hint.
 		m.waited.remove(p)
 	}
-	// Priority 2: current-epoch COW pages — free their slots ASAP.
-	for !m.cfg.NoLiveCowPriority && len(m.liveCowQueue) > 0 {
-		p := m.liveCowQueue[0]
+	// Priority 2: current-epoch COW pages — free their slots ASAP. Consumed
+	// entries advance a head index; the backing array is reused across
+	// epochs (rotation resets both), so the queue never re-grows in steady
+	// state.
+	for !m.cfg.NoLiveCowPriority && m.liveCowHead < len(m.liveCowQueue) {
+		p := m.liveCowQueue[m.liveCowHead]
 		if remaining.Test(p) {
 			return p
 		}
-		m.liveCowQueue = m.liveCowQueue[1:]
+		m.liveCowHead++
 	}
 	// Priority 3/4: previous-epoch interference classes.
 	for c := 0; c < 4; c++ {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -98,8 +99,97 @@ func TestAdaptiveSelectorSkipsAlreadyCommitted(t *testing.T) {
 	if fmt.Sprint(got) != fmt.Sprint([]int{0, 2, 3}) {
 		t.Errorf("order = %v", got)
 	}
-	if len(m.liveCowQueue) != 0 {
-		t.Errorf("stale live-COW entry not consumed: %v", m.liveCowQueue)
+	if m.liveCowHead != len(m.liveCowQueue) {
+		t.Errorf("stale live-COW entry not consumed: %v (head %d)", m.liveCowQueue, m.liveCowHead)
+	}
+}
+
+// sortedReferenceClasses is the original comparison-sort construction of
+// Algorithm 4's priority classes (sort.Slice by (LastIndex, page) within
+// each class). The bucketed build must reproduce it exactly.
+func sortedReferenceClasses(dirty *util.Bitset, lastAT []AccessType, lastIndex []int32) [4][]int32 {
+	var classes [4][]int32
+	for p := dirty.NextSet(0); p >= 0; p = dirty.NextSet(p + 1) {
+		c := classOf(lastAT[p])
+		classes[c] = append(classes[c], int32(p))
+	}
+	for c := range classes {
+		cls := classes[c]
+		sort.Slice(cls, func(i, j int) bool {
+			a, b := cls[i], cls[j]
+			if lastIndex[a] != lastIndex[b] {
+				return lastIndex[a] < lastIndex[b]
+			}
+			return a < b
+		})
+	}
+	return classes
+}
+
+// Property: the linear-bucketing selector build emits classes identical to
+// the sorted reference implementation — for dense unique access ranks (what
+// the manager produces) and for degenerate histories with duplicate and
+// zero ranks (what defensive code may see). Flush order for a fixed history
+// is therefore unchanged by the rewrite.
+func TestBucketedBuildMatchesSortedReference(t *testing.T) {
+	f := func(seed uint64, dense bool) bool {
+		rng := util.NewRNG(seed)
+		n := rng.Intn(200) + 1
+		lastAT := make([]AccessType, n)
+		lastIndex := make([]int32, n)
+		dirty := util.NewBitset(n)
+		var dirtyPages []int
+		for p := 0; p < n; p++ {
+			if rng.Intn(3) == 0 {
+				continue
+			}
+			dirty.Set(p)
+			dirtyPages = append(dirtyPages, p)
+			lastAT[p] = AccessType(rng.Intn(5))
+			lastIndex[p] = int32(rng.Intn(2 * n)) // duplicates and zeros allowed
+		}
+		if dense {
+			// The manager's real histories: ranks are a dense permutation
+			// of 1..len(dirty) in first-write order.
+			perm := rng.Perm(len(dirtyPages))
+			for i, p := range dirtyPages {
+				lastIndex[p] = int32(perm[i]) + 1
+			}
+		}
+		got := newAdaptiveSelector(dirty, lastAT, lastIndex)
+		want := sortedReferenceClasses(dirty, lastAT, lastIndex)
+		for c := range want {
+			if fmt.Sprint(got.classes[c]) != fmt.Sprint(want[c]) {
+				t.Logf("seed %d dense %v class %d: got %v want %v", seed, dense, c, got.classes[c], want[c])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSelectorBuildReuseSteadyStateAllocs: rebuilding the manager's
+// embedded selector for a stable working set must not allocate once its
+// scratch has grown to size.
+func TestSelectorBuildReuseSteadyStateAllocs(t *testing.T) {
+	const n = 1024
+	lastAT := make([]AccessType, n)
+	lastIndex := make([]int32, n)
+	dirty := util.NewBitset(n)
+	rng := util.NewRNG(11)
+	perm := rng.Perm(n)
+	for p := 0; p < n; p++ {
+		dirty.Set(p)
+		lastAT[p] = AccessType(rng.Intn(5))
+		lastIndex[p] = int32(perm[p]) + 1
+	}
+	var s adaptiveSelector
+	s.build(dirty, lastAT, lastIndex) // grow scratch
+	if allocs := testing.AllocsPerRun(50, func() { s.build(dirty, lastAT, lastIndex) }); allocs != 0 {
+		t.Errorf("steady-state selector build allocated %.2f times per run, want 0", allocs)
 	}
 }
 

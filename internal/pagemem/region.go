@@ -53,6 +53,17 @@ func (r *Region) setProt(i int, on bool) {
 	}
 }
 
+// protectAll write-protects every page of the region, one bitmap word at a
+// time (bits past numPages are set too, matching Alloc; they are never
+// read). Concurrent faulting writers observe each word's flip atomically,
+// and the caller (epoch rotation) holds the space's write gate, so no
+// store that already passed its fault check is in flight.
+func (r *Region) protectAll() {
+	for i := range r.prot {
+		atomic.StoreUint32(&r.prot[i], ^uint32(0))
+	}
+}
+
 // fault runs the write-fault path for region page i if it is protected.
 func (r *Region) fault(i int) {
 	if !r.protBit(i) {

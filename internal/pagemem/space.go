@@ -154,8 +154,28 @@ func (s *Space) PageData(page int) []byte {
 	return r.data[off : off+s.pageSize]
 }
 
+// ProtectLiveRegions write-protects every live region in one pass, calling
+// f with each region's global page range [first, first+count) after its
+// pages are protected. CHECKPOINT uses it to re-protect the whole space at
+// epoch rotation: protection is set a whole bitmap word at a time per
+// region, and f lets the caller batch-reset its own per-page bookkeeping
+// for the same range — where a per-page Protect loop would redo the
+// region lookup (lock + binary search) for every single page while the
+// application is blocked on the write gate. f may be nil.
+func (s *Space) ProtectLiveRegions(f func(first, count int)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, r := range s.regions {
+		r.protectAll()
+		if f != nil {
+			f(r.firstPage, r.numPages)
+		}
+	}
+}
+
 // ForEachLivePage calls f for every page of every live region, in global
-// page order. It is used by CHECKPOINT to re-protect the whole space.
+// page order — a general iteration helper for tools and tests. CHECKPOINT's
+// epoch rotation uses ProtectLiveRegions instead, which batches per region.
 func (s *Space) ForEachLivePage(f func(page int)) {
 	s.mu.RLock()
 	regions := make([]*Region, len(s.regions))

@@ -225,3 +225,59 @@ func TestWriteReadQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestProtectLiveRegionsBatches(t *testing.T) {
+	s := NewSpace(64)
+	a := s.Alloc(64*4, false) // pages 0-3
+	b := s.Alloc(64*3, false) // pages 4-6
+	c := s.Alloc(64*2, false) // pages 7-8
+	for p := 0; p < 9; p++ {
+		s.Unprotect(p)
+	}
+	b.Free()
+	var ranges [][2]int
+	s.ProtectLiveRegions(func(first, count int) {
+		ranges = append(ranges, [2]int{first, count})
+	})
+	want := [][2]int{{0, 4}, {7, 2}}
+	if len(ranges) != len(want) || ranges[0] != want[0] || ranges[1] != want[1] {
+		t.Fatalf("ranges = %v, want %v", ranges, want)
+	}
+	for _, r := range []*Region{a, c} {
+		first, count := r.Pages()
+		for p := first; p < first+count; p++ {
+			if !s.IsProtected(p) {
+				t.Errorf("live page %d not protected", p)
+			}
+		}
+	}
+	// A batch protect is equivalent to per-page Protect: the next write to
+	// every live page faults exactly once.
+	faults := map[int]int{}
+	s.SetFaultHandler(func(p int) {
+		faults[p]++
+		s.Unprotect(p)
+	})
+	for i := 0; i < 2; i++ {
+		a.StoreByte(0, 1)  // page 0
+		c.StoreByte(64, 2) // page 8
+	}
+	if faults[0] != 1 || faults[8] != 1 {
+		t.Errorf("fault counts = %v, want one fault each for pages 0 and 8", faults)
+	}
+}
+
+func TestProtectLiveRegionsNilCallback(t *testing.T) {
+	s := NewSpace(64)
+	r := s.Alloc(64*2, false)
+	first, count := r.Pages()
+	for p := first; p < first+count; p++ {
+		s.Unprotect(p)
+	}
+	s.ProtectLiveRegions(nil)
+	for p := first; p < first+count; p++ {
+		if !s.IsProtected(p) {
+			t.Errorf("page %d not protected", p)
+		}
+	}
+}

@@ -20,7 +20,10 @@ import "sync"
 // write before the seal), and epochs are sealed in order; implementations
 // may reject interleaved writes for two different epochs. The data slice
 // is only valid for the duration of the call: a backend that retains page
-// content past its return must copy it.
+// content past its return must copy it. This is not theoretical — the
+// page manager recycles COW page copies into a buffer pool as soon as
+// WritePage returns, and the repository hands pooled encode buffers back
+// the same way, so a retained slice WILL be overwritten.
 //
 // Every Backend in this package and internal/ckpt honors this contract;
 // decorators require it of the backends they wrap.

@@ -1,0 +1,20 @@
+package util
+
+// FNV-64a constants (FNV-1a, 64-bit variant).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Fnv64a returns the FNV-1a 64-bit hash of data. It is bit-identical to
+// hashing data through hash/fnv's New64a, but runs inline with zero heap
+// allocations — the checkpoint commit path hashes every page image and the
+// heap hasher object was pure garbage at that rate.
+func Fnv64a(data []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return h
+}

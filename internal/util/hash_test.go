@@ -1,0 +1,57 @@
+package util
+
+import (
+	"hash/fnv"
+	"testing"
+)
+
+// TestFnv64aMatchesStdlib pins the inline hasher to hash/fnv bit for bit:
+// the on-disk record hashes and the dedup index depend on the two never
+// diverging.
+func TestFnv64aMatchesStdlib(t *testing.T) {
+	rng := NewRNG(7)
+	inputs := [][]byte{nil, {}, {0}, {0xff}, []byte("aickpt")}
+	for _, n := range []int{1, 63, 64, 65, 4096} {
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte(rng.Uint64())
+		}
+		inputs = append(inputs, buf)
+	}
+	for _, in := range inputs {
+		h := fnv.New64a()
+		h.Write(in)
+		if got, want := Fnv64a(in), h.Sum64(); got != want {
+			t.Fatalf("Fnv64a(%d bytes) = %#x, stdlib %#x", len(in), got, want)
+		}
+	}
+}
+
+// TestFnv64aZeroAlloc gates the steady-state hash at zero allocations.
+func TestFnv64aZeroAlloc(t *testing.T) {
+	page := make([]byte, 4096)
+	for i := range page {
+		page[i] = byte(i * 31)
+	}
+	var sink uint64
+	allocs := testing.AllocsPerRun(200, func() {
+		sink += Fnv64a(page)
+	})
+	if allocs != 0 {
+		t.Fatalf("Fnv64a allocated %.2f times per run, want 0", allocs)
+	}
+	_ = sink
+}
+
+func BenchmarkFnv64a(b *testing.B) {
+	page := make([]byte, 4096)
+	for i := range page {
+		page[i] = byte(i)
+	}
+	b.SetBytes(4096)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += Fnv64a(page)
+	}
+	_ = sink
+}

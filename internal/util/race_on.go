@@ -1,0 +1,8 @@
+//go:build race
+
+package util
+
+// RaceEnabled reports whether the binary was built with the race detector.
+// Allocation-regression tests skip under it: the runtime deliberately
+// bypasses sync.Pool caches in race mode, so pooled paths re-allocate.
+const RaceEnabled = true
