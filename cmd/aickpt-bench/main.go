@@ -30,6 +30,7 @@ func main() {
 	hotPages := flag.Int("hotpath-pages", 2048, "hotpath scenario: working-set pages (4 KB each)")
 	hotEpochs := flag.Int("hotpath-epochs", 8, "hotpath scenario: measured checkpoints per sweep point")
 	hotWorkers := flag.Int("hotpath-workers", 1, "hotpath scenario: commit workers")
+	debugAddr := flag.String("debug-addr", "", "hotpath scenario: serve the live debug endpoint on this address during the largest sweep point and self-scrape /metrics and /trace (e.g. 127.0.0.1:0)")
 	patternFlag := flag.String("pattern", "ascending", "access pattern: ascending, random, descending")
 	strategyFlag := flag.String("strategy", "adaptive", "approach: adaptive, no-pattern, sync")
 	scale := flag.Int("scale", experiments.ScaleBench, "memory division factor (1 = 256 MB region)")
@@ -58,7 +59,7 @@ func main() {
 	}
 
 	if *scenario == "hotpath" {
-		hotpathScenario(*hotPages, *hotEpochs, *hotWorkers, *jsonPath)
+		hotpathScenario(*hotPages, *hotEpochs, *hotWorkers, *jsonPath, *debugAddr)
 		return
 	}
 

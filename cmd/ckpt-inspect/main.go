@@ -7,9 +7,17 @@
 // also prints each epoch's tier manifest: which tiers hold the epoch, in
 // what state, and the erasure shard layout on the peer tier.
 //
+// The metrics mode inspects a running (or finished) runtime instead of a
+// repository: given the address of a live debug endpoint
+// (Options.DebugAddr) it scrapes /snapshot and /trace; given a file it
+// reads a saved snapshot JSON. Either way it renders the metric counters,
+// the per-stage latency histograms (count, mean, p50/p90/p99, max) and —
+// when live — the tail of the pipeline trace journal.
+//
 // Usage:
 //
 //	ckpt-inspect <repository-dir>
+//	ckpt-inspect metrics <debug-addr | snapshot.json>
 package main
 
 import (
@@ -21,8 +29,12 @@ import (
 )
 
 func main() {
+	if len(os.Args) == 3 && os.Args[1] == "metrics" {
+		runMetrics(os.Args[2])
+		return
+	}
 	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: ckpt-inspect <repository-dir>")
+		fmt.Fprintln(os.Stderr, "usage: ckpt-inspect <repository-dir>\n       ckpt-inspect metrics <debug-addr | snapshot.json>")
 		os.Exit(2)
 	}
 	dir := os.Args[1]

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	aickpt "repro"
+)
+
+// runMetrics implements the `ckpt-inspect metrics <target>` mode: target is
+// either the address of a live debug endpoint (Options.DebugAddr, scraped
+// over HTTP at /snapshot and /trace) or the path of a snapshot JSON file
+// (the /snapshot payload saved to disk). It renders the counters and per-
+// stage latency histograms of the snapshot as tables, and — for a live
+// target — the tail of the pipeline trace journal.
+func runMetrics(target string) {
+	var snap aickpt.MetricsSnapshot
+	var trace []inspectTraceEvent
+	if isLiveTarget(target) {
+		base := target
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		base = strings.TrimSuffix(base, "/")
+		if err := getJSON(base+"/snapshot", &snap); err != nil {
+			fmt.Fprintln(os.Stderr, "ckpt-inspect metrics:", err)
+			os.Exit(1)
+		}
+		if err := getJSON(base+"/trace", &trace); err != nil {
+			fmt.Fprintln(os.Stderr, "ckpt-inspect metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("live debug endpoint %s\n\n", target)
+	} else {
+		data, err := os.ReadFile(target)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ckpt-inspect metrics:", err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal(data, &snap); err != nil {
+			fmt.Fprintf(os.Stderr, "ckpt-inspect metrics: %s is not a snapshot JSON: %v\n", target, err)
+			os.Exit(1)
+		}
+		fmt.Printf("snapshot file %s\n\n", target)
+	}
+
+	printCounters(snap)
+	printHistograms(snap)
+	printTrace(trace)
+}
+
+// isLiveTarget decides between the scrape and file forms of the argument: a
+// URL scheme or a host:port that is not an existing file means live.
+func isLiveTarget(target string) bool {
+	if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") {
+		return true
+	}
+	if _, err := os.Stat(target); err == nil {
+		return false
+	}
+	return strings.Contains(target, ":")
+}
+
+func getJSON(url string, v any) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+// inspectTraceEvent mirrors the debug server's /trace wire format.
+type inspectTraceEvent struct {
+	Seq   uint64 `json:"seq"`
+	AtNs  int64  `json:"at_ns"`
+	Stage string `json:"stage"`
+	Epoch uint64 `json:"epoch"`
+	Page  int32  `json:"page"`
+	Tier  int8   `json:"tier"`
+	Value int64  `json:"value"`
+}
+
+func printCounters(snap aickpt.MetricsSnapshot) {
+	names := make([]string, 0, len(snap.Counters)+len(snap.Gauges))
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	for n := range snap.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-48s %s\n", "counter/gauge", "value")
+	for _, n := range names {
+		if v, ok := snap.Counters[n]; ok {
+			fmt.Printf("%-48s %d\n", n, v)
+		} else {
+			fmt.Printf("%-48s %d\n", n, snap.Gauges[n])
+		}
+	}
+}
+
+func printHistograms(snap aickpt.MetricsSnapshot) {
+	names := make([]string, 0, len(snap.Histograms))
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("\n%-48s %-10s %-12s %-12s %-12s %-12s %s\n",
+		"histogram", "count", "mean", "p50", "p90", "p99", "max")
+	for _, n := range names {
+		h := snap.Histograms[n]
+		if h.Count == 0 {
+			fmt.Printf("%-48s %-10d %-12s %-12s %-12s %-12s %s\n", n, 0, "-", "-", "-", "-", "-")
+			continue
+		}
+		// The *_ns families are durations; render them humanely. Size and
+		// ratio families stay plain numbers.
+		render := func(v float64) string { return fmt.Sprintf("%.0f", v) }
+		if strings.HasSuffix(strings.SplitN(n, "{", 2)[0], "_ns") {
+			render = func(v float64) string {
+				return time.Duration(int64(v)).Round(time.Microsecond).String()
+			}
+		}
+		fmt.Printf("%-48s %-10d %-12s %-12s %-12s %-12s %s\n",
+			n, h.Count, render(h.Mean()),
+			render(h.Quantile(0.5)), render(h.Quantile(0.9)), render(h.Quantile(0.99)),
+			render(float64(h.Max)))
+	}
+}
+
+func printTrace(trace []inspectTraceEvent) {
+	if len(trace) == 0 {
+		return
+	}
+	const tail = 32
+	start := 0
+	if len(trace) > tail {
+		start = len(trace) - tail
+	}
+	fmt.Printf("\ntrace journal: %d event(s), showing last %d\n", len(trace), len(trace)-start)
+	fmt.Printf("%-10s %-14s %-12s %-8s %-8s %-6s %s\n", "seq", "at", "stage", "epoch", "page", "tier", "value")
+	for _, e := range trace[start:] {
+		page := "-"
+		if e.Page >= 0 {
+			page = fmt.Sprintf("%d", e.Page)
+		}
+		fmt.Printf("%-10d %-14s %-12s %-8d %-8s %-6d %d\n",
+			e.Seq, time.Duration(e.AtNs).Round(time.Microsecond), e.Stage, e.Epoch, page, e.Tier, e.Value)
+	}
+}

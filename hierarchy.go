@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/ckpt"
 	"repro/internal/multilevel"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -66,6 +67,15 @@ type Hierarchy struct {
 // NewHierarchy assembles a hierarchy from tier specs, fastest first. The
 // first spec must be TierLocal.
 func NewHierarchy(pageSize int, specs []TierSpec, drain DrainPolicy) (*Hierarchy, error) {
+	return newHierarchy(pageSize, specs, drain, nil)
+}
+
+// newHierarchy additionally attaches an observability metric set: the L1
+// repository records its write-path families and the drain pipeline its
+// queue/retry/promotion families. A runtime built with Options.Tiers
+// passes its metrics through here; standalone NewHierarchy callers get an
+// uninstrumented hierarchy.
+func newHierarchy(pageSize int, specs []TierSpec, drain DrainPolicy, metrics *obs.Metrics) (*Hierarchy, error) {
 	if pageSize <= 0 {
 		pageSize = 4096
 	}
@@ -143,6 +153,11 @@ func NewHierarchy(pageSize int, specs []TierSpec, drain DrainPolicy) (*Hierarchy
 			return nil, fmt.Errorf("aickpt: unknown tier kind %d", spec.Kind)
 		}
 	}
+	if metrics != nil {
+		// L1 only: lower-tier stores re-write the same records and would
+		// double-count the repository families.
+		local.SetMetrics(metrics)
+	}
 	inner, err := multilevel.New(multilevel.Config{
 		Env:      env,
 		PageSize: pageSize,
@@ -155,6 +170,7 @@ func NewHierarchy(pageSize int, specs []TierSpec, drain DrainPolicy) (*Hierarchy
 			RetryBackoff:    drain.RetryBackoff,
 			MaxRetryBackoff: drain.MaxRetryBackoff,
 		},
+		Metrics: metrics,
 	})
 	if err != nil {
 		return nil, err

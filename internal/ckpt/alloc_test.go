@@ -3,7 +3,9 @@ package ckpt
 import (
 	"bytes"
 	"testing"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/util"
 )
 
@@ -21,6 +23,13 @@ func TestWritePageDedupFastPathZeroAlloc(t *testing.T) {
 	const pageSize = 4096
 	fs := &MemFS{}
 	repo := NewRepository(fs, pageSize)
+	// The gate holds with the write path fully instrumented — the dedup
+	// fast path records counters, a latency sample and a trace event, none
+	// of which may touch the heap.
+	start := time.Now()
+	met := obs.New(func() time.Duration { return time.Since(start) })
+	met.Journal = obs.NewJournal(obs.DefaultJournalDepth)
+	repo.SetMetrics(met)
 	page := bytes.Repeat([]byte{7}, pageSize)
 	write := func(epoch uint64, p int) {
 		t.Helper()
@@ -55,6 +64,9 @@ func TestWritePageDedupFastPathZeroAlloc(t *testing.T) {
 	st := repo.DedupStats()
 	if want := n + n/2 + 1; st.PagesDeduped != want {
 		t.Fatalf("%d pages deduped, want %d (test drove the wrong path)", st.PagesDeduped, want)
+	}
+	if got := met.DedupHits.Load(); got != uint64(st.PagesDeduped) {
+		t.Fatalf("metrics counted %d dedup hits, repository counted %d", got, st.PagesDeduped)
 	}
 }
 

@@ -9,8 +9,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/compress"
+	"repro/internal/obs"
 	"repro/internal/util"
 )
 
@@ -26,6 +29,15 @@ import (
 // the commit point: epochs without a manifest are ignored on restore.
 
 const recordMagic = 0x41494350 // "AICP"
+
+// recordSampleEvery is the WritePage latency-sampling interval: one page in
+// every recordSampleEvery pays the two clock reads and the journal record
+// for RecordWriteNs / StageCompress / StageDedup. The repository sits
+// inside the core committer's CommitWriteNs measurement, which stays exact
+// per page, so sampling here loses no end-to-end latency fidelity — it
+// only thins the duplicated inner timer to keep the per-page metric load
+// within the <2% commit-overhead budget.
+const recordSampleEvery = 8
 
 func segmentName(epoch uint64) string  { return fmt.Sprintf("epoch-%08d.pages", epoch) }
 func manifestName(epoch uint64) string { return fmt.Sprintf("epoch-%08d.json", epoch) }
@@ -163,6 +175,7 @@ type epochStage struct {
 	writeMu sync.Mutex // serializes segment appends (writer batches and sync path)
 	w       *segmentWriter
 	man     *Manifest
+	obs     *obs.Metrics // nil: observability disabled
 
 	spare []recordJob // drained batch array recycled into the next queue
 
@@ -171,8 +184,8 @@ type epochStage struct {
 
 // newEpochStage starts the segment-writer goroutine for one open epoch.
 // w and man are owned by the stage until close returns.
-func newEpochStage(w *segmentWriter, man *Manifest) *epochStage {
-	s := &epochStage{w: w, man: man, done: make(chan struct{})}
+func newEpochStage(w *segmentWriter, man *Manifest, m *obs.Metrics) *epochStage {
+	s := &epochStage{w: w, man: man, obs: m, done: make(chan struct{})}
 	s.cond = sync.NewCond(&s.mu)
 	go s.run()
 	return s
@@ -205,6 +218,9 @@ func (s *epochStage) submit(j recordJob, borrowed bool) error {
 		s.queue, s.spare = s.spare, nil
 	}
 	s.queue = append(s.queue, j)
+	if s.obs != nil {
+		s.obs.StagingDepth.Set(int64(len(s.queue)))
+	}
 	s.cond.Signal()
 	s.mu.Unlock()
 	return nil
@@ -230,6 +246,9 @@ func (s *epochStage) run() {
 		s.queue = nil
 		closed := s.closed
 		failed := s.err != nil
+		if s.obs != nil {
+			s.obs.StagingDepth.Set(0)
+		}
 		s.mu.Unlock()
 		if len(batch) == 0 && closed {
 			return
@@ -372,6 +391,14 @@ type Repository struct {
 	pageSize int
 	codec    compress.Codec
 	dedup    bool
+	obs      *obs.Metrics // nil: observability disabled
+
+	// recordTick drives 1-in-recordSampleEvery sampling of the WritePage
+	// latency timer and per-page trace events. Byte and dedup counters
+	// stay exact on every page; only the clock reads and journal records
+	// are sampled, keeping the repository's share of the per-page metric
+	// load to one atomic increment on most pages.
+	recordTick atomic.Uint64
 
 	mu      sync.Mutex
 	w       *segmentWriter // nil until the epoch's first physical record
@@ -448,6 +475,18 @@ func (r *Repository) SetDedup(enabled bool) {
 		panic("ckpt: SetDedup with an open epoch")
 	}
 	r.dedup = enabled
+}
+
+// SetMetrics attaches an observability metric set to the repository's
+// write path (record latency, compression ratio, dedup hit rate, staging
+// depth). Nil detaches. Must not be called while an epoch is open.
+func (r *Repository) SetMetrics(m *obs.Metrics) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.curOpen {
+		panic("ckpt: SetMetrics with an open epoch")
+	}
+	r.obs = m
 }
 
 // PageSize returns the page size the repository was created with.
@@ -555,6 +594,12 @@ func (r *Repository) WritePage(epoch uint64, page int, data []byte, size int) er
 	if len(data) != size {
 		return fmt.Errorf("ckpt: page %d: data length %d != size %d", page, len(data), size)
 	}
+	sampled := false
+	var wstart time.Duration
+	if r.obs != nil && r.recordTick.Add(1)%recordSampleEvery == 0 {
+		sampled = true
+		wstart = r.obs.Now()
+	}
 	// Hash off-lock: with several committer workers this is the hottest
 	// per-page step after the codec.
 	rawHash := contentHash(data)
@@ -599,6 +644,17 @@ func (r *Repository) WritePage(epoch uint64, page int, data []byte, size int) er
 			r.curStats.PagesDeduped++
 			r.curStats.BytesDeduped += int64(size)
 			r.mu.Unlock()
+			if r.obs != nil {
+				r.obs.DedupHits.Inc()
+				r.obs.RecordRawBytes.Add(uint64(size))
+				if sampled {
+					wend := r.obs.Now()
+					r.obs.RecordWriteNs.Observe(int64(wend - wstart))
+					r.obs.TraceAt(wend, obs.StageDedup, epoch, int32(page), 0, int64(size))
+				} else {
+					r.obs.Trace(obs.StageDedup, epoch, int32(page), 0, int64(size))
+				}
+			}
 			return nil
 		}
 	}
@@ -613,7 +669,7 @@ func (r *Repository) WritePage(epoch uint64, page int, data []byte, size int) er
 			r.mu.Unlock()
 			return err
 		}
-		r.stage = newEpochStage(r.w, &r.curMan)
+		r.stage = newEpochStage(r.w, &r.curMan, r.obs)
 	}
 	if r.pending != nil {
 		r.pending[page] = pageIdx{hash: rawHash, epoch: epoch, hasHash: true}
@@ -637,8 +693,21 @@ func (r *Repository) WritePage(epoch uint64, page int, data []byte, size int) er
 		job.buf = buf
 		borrowed = false
 	}
+	coded := len(job.payload)
 	if err := stage.submit(job, borrowed); err != nil {
 		return fmt.Errorf("ckpt: %w", err)
+	}
+	if r.obs != nil {
+		r.obs.DedupMisses.Inc()
+		r.obs.RecordRawBytes.Add(uint64(size))
+		r.obs.RecordCodedBytes.Add(uint64(coded))
+		if sampled {
+			wend := r.obs.Now()
+			r.obs.RecordWriteNs.Observe(int64(wend - wstart))
+			if codec != compress.None {
+				r.obs.TraceAt(wend, obs.StageCompress, epoch, int32(page), 0, int64(coded))
+			}
+		}
 	}
 	return nil
 }
@@ -682,8 +751,13 @@ func (r *Repository) EndEpoch(epoch uint64) error {
 			return fmt.Errorf("ckpt: segment: %w", err)
 		}
 	}
+	mstart := r.obs.Now()
 	if err := writeManifestFile(r.fs, manifestName(epoch), &r.curMan); err != nil {
 		return err
+	}
+	if r.obs != nil {
+		r.obs.ManifestWriteNs.Observe(int64(r.obs.Now() - mstart))
+		r.obs.EpochsSealedRepo.Inc()
 	}
 	if r.indexLoaded {
 		for p, e := range r.pending {

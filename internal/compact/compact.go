@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/ckpt"
+	"repro/internal/obs"
 )
 
 // Policy decides when the chain is compacted and how much of it stays
@@ -73,6 +74,9 @@ type Config struct {
 	// here). base is the committed base manifest; folded lists the live
 	// epochs absorbed this pass.
 	OnCompacted func(base ckpt.Manifest, folded []uint64)
+	// Metrics receives compaction observability (fold duration, reclaimed
+	// bytes, pass outcomes). Nil disables instrumentation.
+	Metrics *obs.Metrics
 }
 
 // Result describes one compaction pass.
@@ -101,6 +105,24 @@ type Result struct {
 // epochs are touched — but passes themselves must not overlap (the
 // Compactor serializes them).
 func RunOnce(cfg Config, force bool) (Result, error) {
+	start := cfg.Metrics.Now()
+	res, err := runOnce(cfg, force)
+	if m := cfg.Metrics; m != nil && err == nil {
+		m.ReclaimedBytes.Add(uint64(res.BytesReclaimed))
+		if res.Compacted {
+			d := int64(m.Now() - start)
+			m.FoldNs.Observe(d)
+			m.Compactions.Inc()
+			m.EpochsFolded.Add(uint64(res.EpochsFolded))
+			m.Trace(obs.StageCompact, res.BaseTo, -1, 0, res.BytesReclaimed)
+		} else {
+			m.CompactSkips.Inc()
+		}
+	}
+	return res, err
+}
+
+func runOnce(cfg Config, force bool) (Result, error) {
 	var res Result
 	ch, err := ckpt.LoadChain(cfg.FS)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pagemem"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -81,9 +82,16 @@ func TestCowFaultPathAllocatesOnlyOnPoolWarmup(t *testing.T) {
 	const pageSize = 4096
 	store := newGateStore()
 	space := pagemem.NewSpace(pageSize)
+	env := sim.NewRealEnv()
+	// The gate holds with full instrumentation attached — tracing included:
+	// the observability layer must not cost the warm COW fault path a single
+	// allocation.
+	met := obs.New(env.Now)
+	met.Journal = obs.NewJournal(obs.DefaultJournalDepth)
 	m := NewManager(Config{
-		Env: sim.NewRealEnv(), Space: space, Store: store,
+		Env: env, Space: space, Store: store,
 		Strategy: Adaptive, CowSlots: pages, CommitWorkers: 1, Name: "alloc-test",
+		Metrics: met,
 	})
 	defer func() {
 		store.open()
@@ -129,6 +137,15 @@ func TestCowFaultPathAllocatesOnlyOnPoolWarmup(t *testing.T) {
 	warm := stats[len(stats)-1]
 	if warm.Cows != pages-2 {
 		t.Fatalf("measured epoch took %d COW slots, want %d (test drove the wrong path)", warm.Cows, pages-2)
+	}
+	// The instrumentation must also have seen the faults it was attached
+	// for: at least the measured epoch's COW faults, counted without having
+	// allocated.
+	if got := met.FaultsCow.Load(); got < uint64(pages-2) {
+		t.Fatalf("metrics counted %d COW faults, want >= %d", got, pages-2)
+	}
+	if met.Journal.Len() == 0 {
+		t.Fatal("trace journal recorded no events during the instrumented epochs")
 	}
 }
 

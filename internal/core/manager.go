@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pagemem"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -28,6 +29,7 @@ type Manager struct {
 	env   sim.Env
 	space *pagemem.Space
 	store storage.Backend
+	obs   *obs.Metrics // nil: observability disabled
 
 	mu            sync.Locker
 	committerKick sim.Cond // committer <- Checkpoint notifications
@@ -104,6 +106,7 @@ func NewManager(cfg Config) *Manager {
 		env:       cfg.Env,
 		space:     cfg.Space,
 		store:     cfg.Store,
+		obs:       cfg.Metrics,
 		epoch:     cfg.FirstEpoch,
 		cow:       map[int][]byte{},
 		dirty:     util.NewBitset(0),
@@ -120,7 +123,8 @@ func NewManager(cfg Config) *Manager {
 	} else {
 		m.workers = cfg.CommitWorkers
 		for w := 0; w < m.workers; w++ {
-			m.env.Go(fmt.Sprintf("%s-committer-%d", cfg.Name, w), m.committer)
+			w := w
+			m.env.Go(fmt.Sprintf("%s-committer-%d", cfg.Name, w), func() { m.committer(w) })
 		}
 	}
 	return m
@@ -205,8 +209,20 @@ func (m *Manager) Checkpoint() {
 	m.space.UnlockWrites()
 	if m.cfg.Strategy == Sync {
 		m.syncCommitLocked()
+		if m.obs != nil {
+			// The whole inline flush counts as app-blocked time.
+			b := int64(m.cur.BlockedInCheckpoint)
+			m.obs.CheckpointsTotal.Inc()
+			m.obs.CheckpointBlockedNs.Observe(b)
+			m.obs.Trace(obs.StageCheckpoint, m.epoch, -1, 0, b)
+		}
 		m.mu.Unlock()
 		return
+	}
+	if m.obs != nil {
+		m.obs.CheckpointsTotal.Inc()
+		m.obs.CheckpointBlockedNs.Observe(int64(blocked))
+		m.obs.Trace(obs.StageCheckpoint, m.epoch, -1, 0, int64(blocked))
 	}
 	m.inProgress = true
 	switch m.cfg.Strategy {
@@ -307,7 +323,7 @@ func (m *Manager) syncCommitLocked() {
 // parallelized): it drains the scheduled set together with its peers,
 // committing the COW copy when one exists and otherwise locking the page,
 // writing it and notifying any waiting writer.
-func (m *Manager) committer() {
+func (m *Manager) committer(worker int) {
 	m.mu.Lock()
 	for {
 		for !m.inProgress && !m.closed {
@@ -316,7 +332,7 @@ func (m *Manager) committer() {
 		if !m.inProgress {
 			break
 		}
-		m.flushEpochLocked()
+		m.flushEpochLocked(worker)
 	}
 	m.exitedWorkers++
 	if m.exitedWorkers == m.workers {
@@ -334,7 +350,7 @@ func (m *Manager) committer() {
 // barrier: the worker that observes the last in-flight write retired seals
 // the epoch with a single EndEpoch, the rest wait for the seal (or for the
 // next epoch to start). Called and returns with m.mu held.
-func (m *Manager) flushEpochLocked() {
+func (m *Manager) flushEpochLocked(worker int) {
 	epoch := m.epoch
 	pageSize := m.space.PageSize()
 	// Build the epoch's selector if it is not ready yet: the first worker
@@ -361,7 +377,14 @@ func (m *Manager) flushEpochLocked() {
 		}
 		dirty, lastAT, lastIndex := m.selDirty, m.lastAT, m.lastIndex
 		m.mu.Unlock()
+		bstart := m.obs.Now()
 		m.adaptive.build(dirty, lastAT, lastIndex)
+		if m.obs != nil {
+			bend := m.obs.Now()
+			d := int64(bend - bstart)
+			m.obs.SelectorBuildNs.Observe(d)
+			m.obs.TraceAt(bend, obs.StageSelect, epoch, -1, 0, d)
+		}
 		m.mu.Lock()
 		m.selBuilding = false
 		m.selReady = true
@@ -389,12 +412,25 @@ func (m *Manager) flushEpochLocked() {
 		// Off-lock write. For a non-COW page the slice aliases live memory,
 		// but any application write to it first faults and blocks until the
 		// page is Processed, so the content cannot change underneath us.
+		wstart := m.obs.Now()
 		err := m.store.WritePage(epoch, p, data, pageSize)
+		if m.obs != nil {
+			wend := m.obs.Now()
+			d := int64(wend - wstart)
+			m.obs.CommitWriteNs.Observe(d)
+			m.obs.CommitPages.Inc()
+			m.obs.CommitBytes.Add(uint64(pageSize))
+			m.obs.WorkerPages[obs.WorkerIndex(worker)].Inc()
+			m.obs.TraceAt(wend, obs.StageWrite, epoch, int32(p), 0, d)
+		}
 		m.mu.Lock()
 		m.noteErrLocked(err)
 		if isCow {
 			delete(m.cow, p)
 			m.cowUsed--
+			if m.obs != nil {
+				m.obs.CowInUse.Add(-1)
+			}
 			// A slot was released: writers blocked for lack of slots
 			// could proceed... but per Algorithm 2 they wait for their
 			// page; waking them re-checks the predicate harmlessly.
@@ -423,7 +459,15 @@ func (m *Manager) flushEpochLocked() {
 				panic(fmt.Sprintf("core: %d COW slots leaked at end of epoch %d", m.cowUsed, epoch))
 			}
 			m.mu.Unlock()
+			sstart := m.obs.Now()
 			err := m.store.EndEpoch(epoch)
+			if m.obs != nil {
+				send := m.obs.Now()
+				d := int64(send - sstart)
+				m.obs.SealNs.Observe(d)
+				m.obs.EpochsSealed.Inc()
+				m.obs.TraceAt(send, obs.StageSeal, epoch, -1, 0, d)
+			}
 			m.mu.Lock()
 			m.noteErrLocked(err)
 			m.sealing = false
@@ -440,6 +484,10 @@ func (m *Manager) flushEpochLocked() {
 // by the pagemem substrate on the first write to a protected page.
 func (m *Manager) handleFault(page int) {
 	cost := m.cfg.FaultCost
+	var fstart time.Duration
+	if m.obs != nil {
+		fstart = m.obs.Now()
+	}
 	m.mu.Lock()
 	m.ensureLocked(page + 1)
 	if !m.space.IsProtected(page) {
@@ -470,13 +518,24 @@ func (m *Manager) handleFault(page int) {
 		m.cur.Cows++
 		m.liveCowQueue = append(m.liveCowQueue, page)
 		cost += m.cfg.CowCopyCost
+		if m.obs != nil {
+			m.obs.FaultsCow.Inc()
+			m.obs.CowInUse.Add(1)
+			m.obs.Trace(obs.StageCow, m.epoch, int32(page), 0, int64(m.cowUsed))
+		}
 	case m.state[page] == Processed:
 		if m.inProgress {
 			m.at[page] = Avoided
 			m.cur.Avoided++
+			if m.obs != nil {
+				m.obs.FaultsAvoided.Inc()
+			}
 		} else {
 			m.at[page] = After
 			m.cur.After++
+			if m.obs != nil {
+				m.obs.FaultsAfter.Inc()
+			}
 		}
 	default:
 		// Page in flight, or scheduled with no free COW slot: wait until
@@ -491,13 +550,26 @@ func (m *Manager) handleFault(page int) {
 		m.waited.remove(page)
 		m.at[page] = Wait
 		m.cur.Waits++
-		m.cur.WaitTime += m.env.Now() - waitStart
+		waited := m.env.Now() - waitStart
+		m.cur.WaitTime += waited
+		if m.obs != nil {
+			m.obs.FaultsWait.Inc()
+			m.obs.FaultWaitNs.Observe(int64(waited))
+			m.obs.Trace(obs.StageWait, m.epoch, int32(page), 0, int64(waited))
+		}
 	}
 	m.dirty.Set(page)
 	m.accessOrder++
 	m.index[page] = m.accessOrder
+	epoch := m.epoch
 	m.space.Unprotect(page)
 	m.mu.Unlock()
+	if m.obs != nil {
+		fend := m.obs.Now()
+		d := int64(fend - fstart)
+		m.obs.FaultNs.Observe(d)
+		m.obs.TraceAt(fend, obs.StageFault, epoch, int32(page), 0, d)
+	}
 	if cost > 0 {
 		m.env.Sleep(cost)
 	}

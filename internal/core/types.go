@@ -13,6 +13,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pagemem"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -133,6 +134,12 @@ type Config struct {
 	// it to the last sealed epoch so new checkpoints extend the existing
 	// repository instead of overwriting it.
 	FirstEpoch uint64
+	// Metrics receives per-stage observability: fault classification
+	// counters, blocked-time and write-latency histograms, and pipeline
+	// trace events. Nil disables instrumentation; every hot-path site
+	// guards on it with a single branch and records with atomics only,
+	// so enabling it costs no allocations.
+	Metrics *obs.Metrics
 	// Name identifies the manager's processes in diagnostics.
 	Name string
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/ckpt"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -68,6 +69,10 @@ type Config struct {
 	Lower []Tier
 	// Drain bounds the background promotion pipeline.
 	Drain DrainPolicy
+	// Metrics receives drain-pipeline observability (queue depths, retry
+	// and failure counts, per-tier promotion latency, restore counters).
+	// Nil disables instrumentation.
+	Metrics *obs.Metrics
 }
 
 // Hierarchy is a multi-level checkpoint store implementing storage.Backend.
@@ -86,6 +91,7 @@ type Hierarchy struct {
 	local    *LocalTier
 	lower    []Tier
 	policy   DrainPolicy
+	obs      *obs.Metrics // nil: observability disabled
 
 	mu         sync.Locker
 	notEmpty   []sim.Cond // per lower tier: queue went non-empty / closing
@@ -140,6 +146,7 @@ func New(cfg Config) (*Hierarchy, error) {
 		local:      cfg.Local,
 		lower:      cfg.Lower,
 		policy:     cfg.Drain.withDefaults(),
+		obs:        cfg.Metrics,
 		manifests:  map[uint64]*EpochManifest{},
 		superseded: map[uint64]bool{},
 	}
@@ -200,6 +207,11 @@ func New(cfg Config) (*Hierarchy, error) {
 		}
 		h.mirror(m)
 	}
+	if len(h.lower) > 0 {
+		// The recovery scan appended to the first queue directly, bypassing
+		// enqueueLocked; bring the gauge in line before workers start.
+		h.noteQueueLocked(0)
+	}
 	for i := range h.lower {
 		for w := 0; w < h.policy.Workers; w++ {
 			h.workers++
@@ -208,6 +220,14 @@ func New(cfg Config) (*Hierarchy, error) {
 		}
 	}
 	return h, nil
+}
+
+// noteQueueLocked mirrors tier ti's drain-queue length into its gauge.
+// Callers hold h.mu.
+func (h *Hierarchy) noteQueueLocked(ti int) {
+	if h.obs != nil {
+		h.obs.DrainQueueDepth[obs.TierIndex(ti+1)].Set(int64(len(h.queues[ti])))
+	}
 }
 
 // newManifest builds the initial tier manifest for a sealed epoch: present
@@ -385,6 +405,10 @@ func (h *Hierarchy) enqueueLocked(ti int, job drainJob) {
 		h.notFull[ti].Wait()
 	}
 	h.queues[ti] = append(h.queues[ti], job)
+	h.noteQueueLocked(ti)
+	if h.obs != nil {
+		h.obs.Trace(obs.StageDrain, job.epoch, -1, int8(ti+1), int64(len(h.queues[ti])))
+	}
 	h.notEmpty[ti].Signal()
 }
 
@@ -420,6 +444,7 @@ func (h *Hierarchy) worker(ti int) {
 		}
 		job := h.queues[ti][0]
 		h.queues[ti] = h.queues[ti][1:]
+		h.noteQueueLocked(ti)
 		h.notFull[ti].Signal()
 		h.mu.Unlock()
 		h.drainOne(ti, job)
@@ -446,6 +471,7 @@ func (h *Hierarchy) drainOne(ti int, job drainJob) {
 	if holder, ok := tier.(EpochHolder); ok && holder.Has(job.epoch) {
 		held = true
 	}
+	pstart := h.obs.Now()
 	if !held && !skip {
 		ep := job.data
 		if ep == nil {
@@ -465,6 +491,9 @@ func (h *Hierarchy) drainOne(ti int, job drainJob) {
 			for attempt := 1; ; attempt++ {
 				if err = tier.Store(ep); err == nil || attempt >= h.policy.MaxAttempts {
 					break
+				}
+				if h.obs != nil {
+					h.obs.DrainRetries.Inc()
 				}
 				h.env.Sleep(backoff)
 				backoff *= 2
@@ -490,6 +519,10 @@ func (h *Hierarchy) drainOne(ti int, job drainJob) {
 		if h.firstErr == nil {
 			h.firstErr = fmt.Errorf("multilevel: drain epoch %d to %s: %w", job.epoch, tier.Name(), err)
 		}
+		if h.obs != nil {
+			h.obs.DrainFailures.Inc()
+			h.obs.Trace(obs.StagePromoteFail, job.epoch, -1, int8(ti+1), 0)
+		}
 	default:
 		tc.State = StateStored
 		if dr, ok := tier.(DegradedReporter); ok && dr.Degraded(job.epoch) {
@@ -497,6 +530,12 @@ func (h *Hierarchy) drainOne(ti int, job drainJob) {
 		}
 		if l, ok := tier.(Layouter); ok {
 			tc.Shards = l.Layout(job.epoch)
+		}
+		if h.obs != nil {
+			pend := h.obs.Now()
+			d := int64(pend - pstart)
+			h.obs.PromoteNs[obs.TierIndex(ti+1)].Observe(d)
+			h.obs.TraceAt(pend, obs.StagePromote, job.epoch, -1, int8(ti+1), d)
 		}
 	}
 	h.mirror(m)
@@ -506,6 +545,9 @@ func (h *Hierarchy) drainOne(ti int, job drainJob) {
 	} else {
 		h.pending--
 		retired = true
+		if h.obs != nil {
+			h.obs.EpochsDrained.Inc()
+		}
 		if h.pending == 0 {
 			h.idle.Broadcast()
 		}

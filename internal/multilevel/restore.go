@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/ckpt"
+	"repro/internal/obs"
 )
 
 // RestoreStep records where one epoch was read from during a tier-aware
@@ -48,6 +49,11 @@ func (h *Hierarchy) Restore() (*ckpt.Image, []RestoreStep, error) {
 			im.Epoch = skipTo
 			im.SegmentsRead++
 			folded++
+			if h.obs != nil {
+				h.obs.RestoreEpochs.Inc()
+				h.obs.RestorePages.Add(uint64(len(pages)))
+				h.obs.Trace(obs.StageRestore, skipTo, -1, 0, int64(len(pages)))
+			}
 			steps = append(steps, RestoreStep{
 				Epoch: skipTo,
 				Tier:  h.local.Name(),
@@ -108,6 +114,11 @@ func (h *Hierarchy) Restore() (*ckpt.Image, []RestoreStep, error) {
 		im.Epoch = epoch
 		im.SegmentsRead++
 		folded++
+		if h.obs != nil {
+			h.obs.RestoreEpochs.Inc()
+			h.obs.RestorePages.Add(uint64(len(ep.Pages)))
+			h.obs.Trace(obs.StageRestore, epoch, -1, 0, int64(len(ep.Pages)))
+		}
 		steps = append(steps, RestoreStep{Epoch: epoch, Tier: from, Detail: strings.Join(fallbacks, "; ")})
 	}
 	if folded == 0 {

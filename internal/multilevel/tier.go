@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"repro/internal/ckpt"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -130,6 +131,12 @@ func (t *LocalTier) Name() string { return t.name }
 // repository (enabled by default). Must be called before any epoch is
 // streamed or stored.
 func (t *LocalTier) SetDedup(enabled bool) { t.repo.SetDedup(enabled) }
+
+// SetMetrics attaches observability to the tier's repository write path.
+// Only the L1 tier should be instrumented — lower-tier stores re-write the
+// same records and would double-count the repository families. Must be
+// called before any epoch is streamed or stored.
+func (t *LocalTier) SetMetrics(m *obs.Metrics) { t.repo.SetMetrics(m) }
 
 // DedupStats returns the tier repository's dedup counters.
 func (t *LocalTier) DedupStats() ckpt.DedupStats { return t.repo.DedupStats() }

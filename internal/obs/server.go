@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// traceEvent is the wire form of an Event for the /trace endpoint: the
+// stage is rendered by name so the JSON is self-describing.
+type traceEvent struct {
+	Seq   uint64 `json:"seq"`
+	AtNs  int64  `json:"at_ns"`
+	Stage string `json:"stage"`
+	Epoch uint64 `json:"epoch"`
+	Page  int32  `json:"page"`
+	Tier  int8   `json:"tier"`
+	Value int64  `json:"value"`
+}
+
+// Server is the opt-in debug HTTP server: Prometheus text exposition at
+// /metrics, the trace journal at /trace, a machine-readable metric
+// snapshot at /snapshot, and the standard pprof handlers under
+// /debug/pprof/. It reads the shared Metrics with atomic loads only, so
+// a scrape can never block the checkpoint pipeline.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Handler returns the debug mux for m, usable standalone (e.g. to mount
+// under an existing server) or via StartServer.
+func Handler(m *Metrics) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.WritePrometheus(w)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(m.TakeSnapshot())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		events := []traceEvent{}
+		if m != nil && m.Journal != nil {
+			for _, e := range m.Journal.Snapshot() {
+				events = append(events, traceEvent{
+					Seq: e.Seq, AtNs: int64(e.At), Stage: e.Stage.String(),
+					Epoch: e.Epoch, Page: e.Page, Tier: e.Tier, Value: e.Value,
+				})
+			}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(events)
+	})
+	// pprof must be registered explicitly: the mux above is not the
+	// DefaultServeMux the pprof package self-registers on.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartServer listens on addr (e.g. "127.0.0.1:0") and serves the debug
+// endpoints for m in a background goroutine.
+func StartServer(addr string, m *Metrics) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(m), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the server's bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down.
+func (s *Server) Close() error { return s.srv.Close() }

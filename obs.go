@@ -1,0 +1,22 @@
+package aickpt
+
+import "repro/internal/obs"
+
+// MetricsSnapshot is a point-in-time copy of every runtime metric, keyed
+// by the Prometheus family name (labels included for labeled families).
+// It is what Runtime.Metrics returns and what the debug server's
+// /snapshot endpoint serves as JSON.
+type MetricsSnapshot = obs.Snapshot
+
+// HistogramSnapshot is an immutable copy of one latency or size
+// histogram, with Mean and Quantile accessors. Buckets are base-2
+// exponential: bucket boundaries are successive powers of two, so a
+// quantile estimate is accurate to within a factor of two.
+type HistogramSnapshot = obs.HistogramSnapshot
+
+// TraceEvent is one entry of the pipeline trace journal: a pipeline stage
+// (fault, cow, select, compress, write, seal, drain, promote, compact,
+// restore, ...) stamped with the runtime's time source, the epoch, and
+// the page/tier the event concerns. Runtime.Trace returns them in
+// recording order.
+type TraceEvent = obs.Event

@@ -43,9 +43,22 @@ type Summary struct {
 	// checkpointing: inside Checkpoint calls plus inside page waits.
 	AppBlocked  time.Duration
 	LongestCkpt time.Duration
+
+	// Drain-side and restore-side totals, sourced from the runtime's
+	// metric snapshot (see SummarizeWithMetrics); zero when summarizing
+	// from per-epoch stats alone, which cannot see the background drain
+	// pipeline or a restore.
+	EpochsDrained uint64
+	DrainRetries  uint64
+	DrainFailures uint64
+	RestoreEpochs uint64
+	RestorePages  uint64
 }
 
-// Summarize folds per-epoch statistics into a Summary.
+// Summarize folds per-epoch statistics into a Summary. The drain- and
+// restore-side fields stay zero: per-epoch stats only describe the
+// commit-side pipeline. Use SummarizeWithMetrics to fill them from a
+// runtime metric snapshot.
 func Summarize(stats []EpochStats) Summary {
 	var s Summary
 	for _, ep := range stats {
@@ -62,4 +75,35 @@ func Summarize(stats []EpochStats) Summary {
 		}
 	}
 	return s
+}
+
+// SummarizeWithMetrics folds per-epoch statistics into a Summary and
+// completes it with the drain-side and restore-side totals of a metric
+// snapshot (Runtime.Metrics), which the per-epoch stats cannot observe.
+func SummarizeWithMetrics(stats []EpochStats, snap MetricsSnapshot) Summary {
+	s := Summarize(stats)
+	s.EpochsDrained = snap.Counters["aickpt_multilevel_epochs_drained_total"]
+	s.DrainRetries = snap.Counters["aickpt_multilevel_drain_retries_total"]
+	s.DrainFailures = snap.Counters["aickpt_multilevel_drain_failures_total"]
+	s.RestoreEpochs = snap.Counters["aickpt_multilevel_restore_epochs_total"]
+	s.RestorePages = snap.Counters["aickpt_multilevel_restore_pages_total"]
+	return s
+}
+
+// WriteSummaryCSV renders one run summary as a two-line CSV (header plus
+// values), including the drain- and restore-side columns that
+// WriteStatsCSV's per-epoch rows cannot carry.
+func WriteSummaryCSV(w io.Writer, s Summary) error {
+	if _, err := fmt.Fprintln(w,
+		"checkpoints,pages,bytes,waits,cows,avoided,after,app_blocked_us,longest_ckpt_us,"+
+			"epochs_drained,drain_retries,drain_failures,restore_epochs,restore_pages"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		s.Checkpoints, s.PagesCommitted, s.BytesCommitted,
+		s.Waits, s.Cows, s.Avoided, s.After,
+		s.AppBlocked.Microseconds(), s.LongestCkpt.Microseconds(),
+		s.EpochsDrained, s.DrainRetries, s.DrainFailures,
+		s.RestoreEpochs, s.RestorePages)
+	return err
 }

@@ -1,0 +1,121 @@
+package aickpt
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleStats() []EpochStats {
+	return []EpochStats{
+		{
+			Epoch: 1, PagesCommitted: 10, BytesCommitted: 40960,
+			Waits: 2, Cows: 3, Avoided: 4, After: 1,
+			WaitTime:            5 * time.Millisecond,
+			BlockedInCheckpoint: 1 * time.Millisecond,
+			Duration:            20 * time.Millisecond,
+		},
+		{
+			Epoch: 2, PagesCommitted: 6, BytesCommitted: 24576,
+			Waits: 1, Cows: 0, Avoided: 7, After: 0,
+			WaitTime:            2 * time.Millisecond,
+			BlockedInCheckpoint: 500 * time.Microsecond,
+			Duration:            35 * time.Millisecond,
+		},
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(sampleStats())
+	if s.Checkpoints != 2 {
+		t.Fatalf("Checkpoints = %d, want 2", s.Checkpoints)
+	}
+	if s.PagesCommitted != 16 || s.BytesCommitted != 65536 {
+		t.Fatalf("pages/bytes = %d/%d, want 16/65536", s.PagesCommitted, s.BytesCommitted)
+	}
+	if s.Waits != 3 || s.Cows != 3 || s.Avoided != 11 || s.After != 1 {
+		t.Fatalf("classification = %d/%d/%d/%d, want 3/3/11/1", s.Waits, s.Cows, s.Avoided, s.After)
+	}
+	wantBlocked := 8*time.Millisecond + 500*time.Microsecond
+	if s.AppBlocked != wantBlocked {
+		t.Fatalf("AppBlocked = %v, want %v", s.AppBlocked, wantBlocked)
+	}
+	if s.LongestCkpt != 35*time.Millisecond {
+		t.Fatalf("LongestCkpt = %v, want 35ms", s.LongestCkpt)
+	}
+	if s.EpochsDrained != 0 || s.RestorePages != 0 {
+		t.Fatalf("drain/restore fields must be zero without a snapshot: %+v", s)
+	}
+}
+
+func TestSummarizeWithMetrics(t *testing.T) {
+	snap := MetricsSnapshot{Counters: map[string]uint64{
+		"aickpt_multilevel_epochs_drained_total": 2,
+		"aickpt_multilevel_drain_retries_total":  5,
+		"aickpt_multilevel_drain_failures_total": 1,
+		"aickpt_multilevel_restore_epochs_total": 3,
+		"aickpt_multilevel_restore_pages_total":  42,
+	}}
+	s := SummarizeWithMetrics(sampleStats(), snap)
+	if s.Checkpoints != 2 {
+		t.Fatalf("Checkpoints = %d, want 2", s.Checkpoints)
+	}
+	if s.EpochsDrained != 2 || s.DrainRetries != 5 || s.DrainFailures != 1 {
+		t.Fatalf("drain fields = %d/%d/%d, want 2/5/1", s.EpochsDrained, s.DrainRetries, s.DrainFailures)
+	}
+	if s.RestoreEpochs != 3 || s.RestorePages != 42 {
+		t.Fatalf("restore fields = %d/%d, want 3/42", s.RestoreEpochs, s.RestorePages)
+	}
+}
+
+func TestWriteStatsCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteStatsCSV(&sb, sampleStats()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want header + 2 rows:\n%s", len(lines), sb.String())
+	}
+	wantHeader := "epoch,pages,bytes,waits,cows,avoided,after,wait_us,blocked_us,duration_us"
+	if lines[0] != wantHeader {
+		t.Fatalf("header = %q, want %q", lines[0], wantHeader)
+	}
+	if cols := strings.Split(lines[1], ","); len(cols) != 10 {
+		t.Fatalf("row has %d columns, header has 10: %q", len(cols), lines[1])
+	}
+	if lines[1] != "1,10,40960,2,3,4,1,5000,1000,20000" {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+}
+
+func TestWriteSummaryCSV(t *testing.T) {
+	s := SummarizeWithMetrics(sampleStats(), MetricsSnapshot{Counters: map[string]uint64{
+		"aickpt_multilevel_epochs_drained_total": 2,
+		"aickpt_multilevel_restore_pages_total":  7,
+	}})
+	var sb strings.Builder
+	if err := WriteSummaryCSV(&sb, s); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want header + 1 row:\n%s", len(lines), sb.String())
+	}
+	header := strings.Split(lines[0], ",")
+	row := strings.Split(lines[1], ",")
+	if len(header) != len(row) {
+		t.Fatalf("header has %d columns, row has %d", len(header), len(row))
+	}
+	want := map[string]string{
+		"checkpoints":    "2",
+		"epochs_drained": "2",
+		"restore_pages":  "7",
+		"drain_retries":  "0",
+	}
+	for i, name := range header {
+		if w, ok := want[name]; ok && row[i] != w {
+			t.Fatalf("column %s = %s, want %s", name, row[i], w)
+		}
+	}
+}
