@@ -157,7 +157,9 @@ type Options struct {
 	// address (e.g. "127.0.0.1:6060", or ":0" for an ephemeral port; the
 	// bound address is available through Runtime.DebugAddr). It serves the
 	// Prometheus text exposition at /metrics, the pipeline trace journal
-	// at /trace, the machine-readable metric snapshot at /snapshot and the
+	// at /trace, the machine-readable metric snapshot at /snapshot, the
+	// epoch flight recorder (per-epoch selector scorecards + lifecycle
+	// span trees with critical-path breakdowns) at /epochs, and the
 	// standard pprof handlers under /debug/pprof/. Scrapes read the shared
 	// metric set with atomic loads only and never block the checkpoint
 	// pipeline.
@@ -174,6 +176,14 @@ type Options struct {
 	// default depth (4096); negative disables tracing while keeping
 	// metrics on.
 	TraceDepth int
+	// SpanDepth sizes the bounded epoch lifecycle span log (rounded up
+	// to a power of two). Spans are recorded once per epoch and stage
+	// (commit, seal, per-tier drain-wait and promote, compact, restore),
+	// so the default depth (1024) covers hundreds of epochs. 0 selects
+	// the default; negative disables span recording while keeping
+	// metrics on (Runtime.Epochs then reports scorecards without span
+	// trees).
+	SpanDepth int
 }
 
 // CompactionPolicy decides when the checkpoint chain is compacted.
@@ -290,6 +300,13 @@ func New(opts Options) (*Runtime, error) {
 			}
 			rt.metrics.Journal = obs.NewJournal(depth)
 		}
+		if opts.SpanDepth >= 0 {
+			depth := opts.SpanDepth
+			if depth == 0 {
+				depth = obs.DefaultSpanDepth
+			}
+			rt.metrics.Spans = obs.NewSpanLog(depth)
+		}
 	}
 	var backend Store
 	var firstEpoch uint64
@@ -385,7 +402,7 @@ func New(opts Options) (*Runtime, error) {
 		Metrics:       rt.metrics,
 	})
 	if opts.DebugAddr != "" {
-		srv, err := obs.StartServer(opts.DebugAddr, rt.metrics)
+		srv, err := obs.StartServer(opts.DebugAddr, rt.metrics, rt.Epochs)
 		if err != nil {
 			rt.Close()
 			return nil, fmt.Errorf("aickpt: debug server: %w", err)
@@ -494,6 +511,38 @@ func (rt *Runtime) DebugAddr() string {
 		return ""
 	}
 	return rt.debug.Addr()
+}
+
+// Spans returns the epoch lifecycle span log's retained spans in
+// recording order: per-epoch commit, seal, per-tier drain-wait and
+// promote, compact and restore intervals, stamped with the runtime's
+// time source. Nil when metrics or span recording are disabled.
+func (rt *Runtime) Spans() []Span {
+	if rt.metrics == nil || rt.metrics.Spans == nil {
+		return nil
+	}
+	return rt.metrics.Spans.Snapshot()
+}
+
+// Scorecards returns the selector prediction scorecard of every epoch:
+// how well the adaptive flush order predicted the application's actual
+// fault arrival order (hit rate, footrule rank correlation,
+// waited-queue pressure, per-region fault/COW heatmaps). The last entry
+// is the live epoch, whose fault window is still open.
+func (rt *Runtime) Scorecards() []Scorecard { return rt.manager.Scorecards() }
+
+// Epochs assembles the epoch flight recorder: one record per epoch
+// merging its selector prediction scorecard with its lifecycle span
+// tree and critical-path breakdown (which stage bounded the epoch's
+// latency). This is what the debug server's /epochs endpoint serves as
+// JSON. Assembly is a cold path and never blocks the pipeline (the
+// span snapshot is lock-free).
+func (rt *Runtime) Epochs() []EpochRecord {
+	var spans []Span
+	if rt.metrics != nil && rt.metrics.Spans != nil {
+		spans = rt.metrics.Spans.Snapshot()
+	}
+	return obs.BuildEpochRecords(rt.manager.Scorecards(), spans)
 }
 
 // CompactNow runs one forced compaction pass synchronously: every foldable
@@ -636,6 +685,10 @@ func (rt *Runtime) Stats() []EpochStats {
 			WaitTime:            s.WaitTime,
 			BlockedInCheckpoint: s.BlockedInCheckpoint,
 			Duration:            s.Duration,
+			FaultArrivals:       s.FaultArrivals,
+			RankPairs:           s.RankPairs,
+			FootruleSum:         s.FootruleSum,
+			MaxWaitedDepth:      s.MaxWaitedDepth,
 		}
 	}
 	return out
@@ -656,6 +709,34 @@ type EpochStats struct {
 	WaitTime            time.Duration
 	BlockedInCheckpoint time.Duration
 	Duration            time.Duration
+
+	// Selector prediction scorecard scalars (full scorecards, including
+	// the per-region heatmaps, come from Runtime.Scorecards).
+
+	// FaultArrivals is the number of first-write faults during the
+	// epoch's access window.
+	FaultArrivals int
+	// RankPairs / FootruleSum accumulate the Spearman footrule between
+	// the selector's flush order and the fault arrival order over pages
+	// both flushed and faulted.
+	RankPairs   int
+	FootruleSum int64
+	// MaxWaitedDepth is the peak waited-queue depth during the epoch.
+	MaxWaitedDepth int
+}
+
+// HitRate is the epoch's flushed-before-faulted hit rate:
+// AVOIDED / (WAIT + COW + AVOIDED), 0 when no overlapping access
+// happened.
+func (e EpochStats) HitRate() float64 {
+	return obs.ScoreHitRate(e.Waits, e.Cows, e.Avoided)
+}
+
+// RankCorrelation is the footrule rank correlation between the
+// selector's flush order and the actual fault arrival order (1 =
+// identical orders, ~0 = random, negative = anti-correlated).
+func (e EpochStats) RankCorrelation() float64 {
+	return obs.ScoreRankCorrelation(e.FootruleSum, e.RankPairs, e.PagesCommitted, e.FaultArrivals)
 }
 
 // Allocator is the transparent-capture allocator: all allocations made

@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
+
+	"repro/internal/obs"
 )
 
 // BenchRecord is one machine-readable benchmark result. The -json flag
@@ -25,6 +28,108 @@ type BenchRecord struct {
 	// quantiles (family name + _p50/_p99/_max suffix), so a record
 	// carries latency distributions, not just means.
 	Quantiles map[string]float64 `json:"quantiles,omitempty"`
+	// Scorecard aggregates the run's per-epoch selector prediction
+	// scorecards (obs.Scorecard) into one view: did the flush order the
+	// selector predicted match the fault order the application produced?
+	// Nil when the run recorded no epochs.
+	Scorecard *ScorecardAgg `json:"scorecard,omitempty"`
+	// CriticalPath sums the per-epoch lifecycle critical path by stage
+	// label, most expensive first, so a record says which stage bounded
+	// checkpoint latency across the run. Nil without span recording.
+	CriticalPath []CriticalStageAgg `json:"critical_path,omitempty"`
+}
+
+// ScorecardAgg is a run-level fold of per-epoch selector scorecards:
+// counts summed, hit rate recomputed over the sums, rank correlation
+// pair-weighted, waited-queue depth taken at its peak.
+type ScorecardAgg struct {
+	Epochs          int     `json:"epochs"`
+	Waits           int     `json:"waits"`
+	Cows            int     `json:"cows"`
+	Avoided         int     `json:"avoided"`
+	After           int     `json:"after"`
+	MaxWaitedDepth  int     `json:"max_waited_depth"`
+	HitRate         float64 `json:"hit_rate"`
+	RankCorrelation float64 `json:"rank_corr"`
+}
+
+// CriticalStageAgg sums one lifecycle stage ("flush", "seal",
+// "promote[1]", "restore[2]", ...) across every epoch of a run.
+type CriticalStageAgg struct {
+	Stage   string `json:"stage"`
+	TotalNs int64  `json:"total_ns"`
+	// Share is TotalNs over the summed lifecycle span of all epochs.
+	Share float64 `json:"share"`
+	// BoundedEpochs counts the epochs whose latency this stage bounded
+	// (it was the epoch's longest stage).
+	BoundedEpochs int `json:"bounded_epochs"`
+}
+
+// benchObservability folds per-epoch flight-recorder records into the
+// record-level scorecard and critical-path aggregates.
+func benchObservability(epochs []obs.EpochRecord) (*ScorecardAgg, []CriticalStageAgg) {
+	var sc *ScorecardAgg
+	var corrWeighted float64
+	var pairs int
+	stageTotal := map[string]int64{}
+	stageBound := map[string]int{}
+	var lifecycle int64
+	for _, r := range epochs {
+		if c := r.Scorecard; c != nil {
+			if sc == nil {
+				sc = &ScorecardAgg{}
+			}
+			sc.Epochs++
+			sc.Waits += c.Waits
+			sc.Cows += c.Cows
+			sc.Avoided += c.Avoided
+			sc.After += c.After
+			if c.MaxWaitedDepth > sc.MaxWaitedDepth {
+				sc.MaxWaitedDepth = c.MaxWaitedDepth
+			}
+			corrWeighted += c.RankCorrelation * float64(c.RankPairs)
+			pairs += c.RankPairs
+		}
+		lifecycle += r.TotalNs
+		for _, st := range r.Critical {
+			stageTotal[stageLabel(st)] += st.DurNs
+		}
+		if r.Bounding != "" {
+			stageBound[r.Bounding]++
+		}
+	}
+	if sc != nil {
+		sc.HitRate = obs.ScoreHitRate(sc.Waits, sc.Cows, sc.Avoided)
+		if pairs > 0 {
+			sc.RankCorrelation = corrWeighted / float64(pairs)
+		}
+	}
+	var cp []CriticalStageAgg
+	for stage, total := range stageTotal {
+		share := 0.0
+		if lifecycle > 0 {
+			share = float64(total) / float64(lifecycle)
+		}
+		cp = append(cp, CriticalStageAgg{
+			Stage: stage, TotalNs: total, Share: share, BoundedEpochs: stageBound[stage],
+		})
+	}
+	sort.Slice(cp, func(a, b int) bool {
+		if cp[a].TotalNs != cp[b].TotalNs {
+			return cp[a].TotalNs > cp[b].TotalNs
+		}
+		return cp[a].Stage < cp[b].Stage
+	})
+	return sc, cp
+}
+
+// stageLabel renders a critical stage with its tier bracket, matching
+// EpochRecord.Bounding ("promote[1]"; tier 0 stays bare).
+func stageLabel(st obs.CriticalStage) string {
+	if st.Tier == 0 {
+		return st.Stage
+	}
+	return fmt.Sprintf("%s[%d]", st.Stage, st.Tier)
 }
 
 // appendBenchRecords appends recs to the JSON array in path, creating the

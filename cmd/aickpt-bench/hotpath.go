@@ -138,6 +138,7 @@ func hotpathScenario(pages, epochs, workers int, jsonPath, debugAddr string) {
 	recs := make([]BenchRecord, 0, len(points)+1)
 	for _, pt := range points {
 		r := pt.res
+		sc, cp := benchObservability(r.epochs)
 		recs = append(recs, BenchRecord{
 			Scenario: "hotpath",
 			Case:     fmt.Sprintf("dirty%d", pt.dirty),
@@ -152,7 +153,9 @@ func hotpathScenario(pages, epochs, workers int, jsonPath, debugAddr string) {
 				"flush_per_ckpt_ns":        float64(r.flushPerCkpt.Nanoseconds()),
 				"allocs_per_page":          r.allocsPerPage,
 			},
-			Quantiles: hotpathQuantiles(r.snap),
+			Quantiles:    hotpathQuantiles(r.snap),
+			Scorecard:    sc,
+			CriticalPath: cp,
 		})
 	}
 	recs = append(recs, BenchRecord{
@@ -269,6 +272,10 @@ type hotpathResult struct {
 	// snap is the run's final metric snapshot (zero-valued when the run
 	// disabled metrics).
 	snap aickpt.MetricsSnapshot
+	// epochs is the flight recorder's per-epoch view: selector
+	// scorecards plus lifecycle span trees (span trees absent when the
+	// run disabled metrics).
+	epochs []aickpt.EpochRecord
 }
 
 // hotpathOpts varies one hotpath run: serve the debug endpoint and
@@ -351,6 +358,7 @@ func runHotpath(pages, dirty, epochs, workers int, opt hotpathOpts) (*hotpathRes
 	runtime.ReadMemStats(&after)
 	stats := rt.Stats()
 	snap := rt.Metrics()
+	epochRecs := rt.Epochs()
 	if opt.debugAddr != "" {
 		// Scrape while the runtime (and its debug server) is still live —
 		// the endpoint check happens against a working pipeline, not a
@@ -363,7 +371,7 @@ func runHotpath(pages, dirty, epochs, workers int, opt hotpathOpts) (*hotpathRes
 	if err := rt.Close(); err != nil {
 		return nil, err
 	}
-	res := &hotpathResult{snap: snap}
+	res := &hotpathResult{snap: snap, epochs: epochRecs}
 	var flush time.Duration
 	var committed int64
 	measured := stats[1:] // drop the warm-up epoch

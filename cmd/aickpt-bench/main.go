@@ -26,7 +26,7 @@ import (
 
 func main() {
 	scenario := flag.String("scenario", "synthetic", "scenario: synthetic (Fig 2 benchmark), tiers (multi-level hierarchy under failures), chain (dedup + compaction vs chain growth), parallel (commit-pipeline worker scaling), hotpath (real-time commit-path throughput and blocked time)")
-	jsonPath := flag.String("json", "", "append machine-readable result records to this JSON file (hotpath and parallel scenarios)")
+	jsonPath := flag.String("json", "", "append machine-readable result records to this JSON file (hotpath, parallel and tiers scenarios)")
 	hotPages := flag.Int("hotpath-pages", 2048, "hotpath scenario: working-set pages (4 KB each)")
 	hotEpochs := flag.Int("hotpath-epochs", 8, "hotpath scenario: measured checkpoints per sweep point")
 	hotWorkers := flag.Int("hotpath-workers", 1, "hotpath scenario: commit workers")
@@ -76,7 +76,7 @@ func main() {
 		if !explicit["every"] {
 			ev = 2
 		}
-		tiersScenario(it, ev, *peerFailures)
+		tiersScenario(it, ev, *peerFailures, *jsonPath)
 		return
 	}
 	if *scenario != "synthetic" {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/multilevel"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/pagemem"
 	"repro/internal/sim"
 )
@@ -21,13 +22,36 @@ import (
 // attempts to rebuild the memory image. With one failure the erasure-coded
 // peer tier (k=2, m=1) recovers every epoch; with two, only the 3-tier
 // configuration survives, serving epochs from the parallel file system.
-func tiersScenario(iterations, every, peerFailures int) {
+func tiersScenario(iterations, every, peerFailures int, jsonPath string) {
 	fmt.Printf("multi-level hierarchy under failure: L1 wipe + %d peer node(s) lost\n", peerFailures)
 	fmt.Printf("%-8s %-14s %-14s %-12s %s\n", "config", "app-runtime", "drain-done", "restore", "epoch sources")
+	var recs []BenchRecord
 	for tiers := 1; tiers <= 3; tiers++ {
 		r := runTiersConfig(tiers, iterations, every, peerFailures)
 		fmt.Printf("%-8s %-14v %-14v %-12s %s\n", fmt.Sprintf("%d-tier", tiers), r.appRuntime, r.drainDone, r.restore, r.sources)
+		sc, cp := benchObservability(r.epochs)
+		restored := 0.0
+		if r.restore == "bit-identical" {
+			restored = 1
+		}
+		recs = append(recs, BenchRecord{
+			Scenario: "tiers",
+			Case:     fmt.Sprintf("%d-tier", tiers),
+			Config: map[string]any{
+				"tiers": tiers, "iterations": iterations, "every": every,
+				"peer_failures": peerFailures, "page_size": tiersPageSize,
+				"restore": r.restore, "sources": r.sources,
+			},
+			Metrics: map[string]float64{
+				"app_runtime_ns": float64(r.appRuntime.Nanoseconds()),
+				"drain_done_ns":  float64(r.drainDone.Nanoseconds()),
+				"restored":       restored,
+			},
+			Scorecard:    sc,
+			CriticalPath: cp,
+		})
 	}
+	writeBenchJSON(jsonPath, recs...)
 }
 
 type tiersResult struct {
@@ -35,6 +59,10 @@ type tiersResult struct {
 	drainDone  time.Duration
 	restore    string
 	sources    string
+	// epochs carries the flight recorder's view of the run: scorecards
+	// from the page manager, lifecycle span trees (commit, seal,
+	// per-tier drain-wait/promote, restore) from the hierarchy.
+	epochs []obs.EpochRecord
 }
 
 const tiersPageSize = 4096
@@ -46,6 +74,9 @@ func runTiersConfig(tiers, iterations, every, peerFailures int) tiersResult {
 		NIC:   netsim.LinkConfig{BytesPerSec: cluster.GigabitBandwidth, Latency: cluster.GigabitLatency},
 		Disk:  netsim.LinkConfig{BytesPerSec: cluster.RennesDiskBandwidth, PerMessage: 5 * time.Microsecond},
 	}, &cluster.PFSSpec{Servers: 4, ServerBandwidth: 100e6, PerRequest: 50 * time.Microsecond})
+
+	met := obs.New(k.Now)
+	met.Spans = obs.NewSpanLog(256)
 
 	local := multilevel.NewLocalTier(k, "local", &ckpt.MemFS{}, tiersPageSize, d.LocalBackend(0))
 	var lower []multilevel.Tier
@@ -61,7 +92,7 @@ func runTiersConfig(tiers, iterations, every, peerFailures int) tiersResult {
 	if tiers >= 3 {
 		lower = append(lower, multilevel.NewLocalTier(k, "pfs", &ckpt.MemFS{}, tiersPageSize, d.PFSBackend(0)))
 	}
-	h, err := multilevel.New(multilevel.Config{Env: k, PageSize: tiersPageSize, Local: local, Lower: lower})
+	h, err := multilevel.New(multilevel.Config{Env: k, PageSize: tiersPageSize, Local: local, Lower: lower, Metrics: met})
 	if err != nil {
 		panic(err)
 	}
@@ -74,6 +105,7 @@ func runTiersConfig(tiers, iterations, every, peerFailures int) tiersResult {
 		Strategy: core.Adaptive,
 		CowSlots: 64,
 		Name:     "app",
+		Metrics:  met,
 	})
 	const pages = 512 // 2 MB of real page content
 	region := space.Alloc(pages*tiersPageSize, false)
@@ -159,5 +191,6 @@ func runTiersConfig(tiers, iterations, every, peerFailures int) tiersResult {
 	if err := k.Run(); err != nil {
 		panic(err)
 	}
+	res.epochs = obs.BuildEpochRecords(mgr.Scorecards(), met.Spans.Snapshot())
 	return res
 }

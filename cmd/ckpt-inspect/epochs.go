@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	aickpt "repro"
+)
+
+// loadEpochs fetches the flight-recorder payload: from a live debug
+// endpoint's /epochs route, or from a file holding saved /epochs JSON.
+func loadEpochs(target string) []aickpt.EpochRecord {
+	var records []aickpt.EpochRecord
+	if isLiveTarget(target) {
+		base := target
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		base = strings.TrimSuffix(base, "/")
+		if err := getJSON(base+"/epochs", &records); err != nil {
+			fmt.Fprintln(os.Stderr, "ckpt-inspect:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("live debug endpoint %s\n\n", target)
+	} else {
+		data, err := os.ReadFile(target)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ckpt-inspect:", err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal(data, &records); err != nil {
+			fmt.Fprintf(os.Stderr, "ckpt-inspect: %s is not an /epochs JSON: %v\n", target, err)
+			os.Exit(1)
+		}
+		fmt.Printf("epochs file %s\n\n", target)
+	}
+	return records
+}
+
+// runEpochs implements `ckpt-inspect epochs <target>`: the per-epoch
+// lifecycle span tree with the critical-path breakdown.
+func runEpochs(target string) {
+	records := loadEpochs(target)
+	if len(records) == 0 {
+		fmt.Println("no epoch records")
+		return
+	}
+	for _, r := range records {
+		fmt.Printf("epoch %d", r.Epoch)
+		if r.TotalNs > 0 {
+			fmt.Printf("  total %s", time.Duration(r.TotalNs).Round(time.Microsecond))
+		}
+		if r.Bounding != "" {
+			fmt.Printf("  bounded by %s", r.Bounding)
+		}
+		fmt.Println()
+		if r.Spans != nil {
+			printSpanNode(*r.Spans, 1)
+		}
+		if len(r.Critical) > 0 {
+			fmt.Printf("  critical path:")
+			for _, c := range r.Critical {
+				stage := c.Stage
+				if c.Tier != 0 {
+					stage = fmt.Sprintf("%s[%d]", c.Stage, c.Tier)
+				}
+				fmt.Printf(" %s %s (%.0f%%)", stage,
+					time.Duration(c.DurNs).Round(time.Microsecond), c.Share*100)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}
+
+func printSpanNode(n aickpt.SpanNode, depth int) {
+	label := n.Kind
+	if n.Tier != 0 {
+		label = fmt.Sprintf("%s[%d]", n.Kind, n.Tier)
+	}
+	fmt.Printf("%s%-14s [%s, %s]  %s\n",
+		strings.Repeat("  ", depth), label,
+		time.Duration(n.StartNs).Round(time.Microsecond),
+		time.Duration(n.EndNs).Round(time.Microsecond),
+		time.Duration(n.DurNs).Round(time.Microsecond))
+	for _, c := range n.Children {
+		printSpanNode(c, depth+1)
+	}
+}
+
+// runScorecard implements `ckpt-inspect scorecard <target>`: the selector
+// prediction scorecard table plus per-region fault heatmaps.
+func runScorecard(target string) {
+	records := loadEpochs(target)
+	fmt.Printf("%-8s %-8s %-9s %-6s %-6s %-8s %-6s %-7s %-9s %s\n",
+		"epoch", "flushed", "arrivals", "waits", "cows", "avoided", "after", "waitq", "hit_rate", "rank_corr")
+	n := 0
+	for _, r := range records {
+		sc := r.Scorecard
+		if sc == nil {
+			continue
+		}
+		n++
+		fmt.Printf("%-8d %-8d %-9d %-6d %-6d %-8d %-6d %-7d %-9.3f %.3f\n",
+			sc.Epoch, sc.PagesFlushed, sc.FaultArrivals,
+			sc.Waits, sc.Cows, sc.Avoided, sc.After,
+			sc.MaxWaitedDepth, sc.HitRate, sc.RankCorrelation)
+	}
+	if n == 0 {
+		fmt.Println("(no scorecards recorded)")
+		return
+	}
+	fmt.Printf("\nfault heat (all faults / COW-absorbed), %d buckets over the page space:\n", heatWidth(records))
+	for _, r := range records {
+		sc := r.Scorecard
+		if sc == nil || len(sc.FaultHeat) == 0 {
+			continue
+		}
+		fmt.Printf("%-8d %s\n", sc.Epoch, heatString(sc.FaultHeat))
+		if len(sc.CowHeat) > 0 {
+			fmt.Printf("%-8s %s\n", "", heatString(sc.CowHeat))
+		}
+	}
+}
+
+func heatWidth(records []aickpt.EpochRecord) int {
+	for _, r := range records {
+		if r.Scorecard != nil && len(r.Scorecard.FaultHeat) > 0 {
+			return len(r.Scorecard.FaultHeat)
+		}
+	}
+	return 0
+}
+
+// heatString renders a heatmap as one character per bucket, scaled to the
+// row's own maximum.
+func heatString(heat []uint32) string {
+	const ramp = " .:-=+*#%@"
+	var max uint32
+	for _, v := range heat {
+		if v > max {
+			max = v
+		}
+	}
+	var sb strings.Builder
+	sb.WriteByte('|')
+	for _, v := range heat {
+		if max == 0 {
+			sb.WriteByte(' ')
+			continue
+		}
+		i := int(uint64(v) * uint64(len(ramp)-1) / uint64(max))
+		sb.WriteByte(ramp[i])
+	}
+	sb.WriteByte('|')
+	return sb.String()
+}

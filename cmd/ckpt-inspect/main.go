@@ -14,10 +14,19 @@
 // the per-stage latency histograms (count, mean, p50/p90/p99, max) and —
 // when live — the tail of the pipeline trace journal.
 //
+// The epochs and scorecard modes read the epoch flight recorder (the
+// /epochs endpoint, live or saved to a file): `epochs` prints each
+// epoch's lifecycle span tree with its critical-path breakdown and the
+// stage that bounded its latency; `scorecard` prints the selector
+// prediction scorecard — predicted flush order vs actual fault arrivals
+// as hit rate and rank correlation — plus the per-region fault heatmaps.
+//
 // Usage:
 //
 //	ckpt-inspect <repository-dir>
 //	ckpt-inspect metrics <debug-addr | snapshot.json>
+//	ckpt-inspect epochs <debug-addr | epochs.json>
+//	ckpt-inspect scorecard <debug-addr | epochs.json>
 package main
 
 import (
@@ -29,12 +38,24 @@ import (
 )
 
 func main() {
-	if len(os.Args) == 3 && os.Args[1] == "metrics" {
-		runMetrics(os.Args[2])
-		return
+	if len(os.Args) == 3 {
+		switch os.Args[1] {
+		case "metrics":
+			runMetrics(os.Args[2])
+			return
+		case "epochs":
+			runEpochs(os.Args[2])
+			return
+		case "scorecard":
+			runScorecard(os.Args[2])
+			return
+		}
 	}
 	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: ckpt-inspect <repository-dir>\n       ckpt-inspect metrics <debug-addr | snapshot.json>")
+		fmt.Fprintln(os.Stderr, "usage: ckpt-inspect <repository-dir>\n"+
+			"       ckpt-inspect metrics <debug-addr | snapshot.json>\n"+
+			"       ckpt-inspect epochs <debug-addr | epochs.json>\n"+
+			"       ckpt-inspect scorecard <debug-addr | epochs.json>")
 		os.Exit(2)
 	}
 	dir := os.Args[1]

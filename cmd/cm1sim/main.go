@@ -6,14 +6,22 @@
 //
 //	cm1sim -weak            weak-scalability sweep (Figures 3a and 3b)
 //	cm1sim -cowsweep        COW-buffer sweep at 32 processes (Figure 4a)
+//	cm1sim -debug-addr A    single instrumented run; serve the debug
+//	                        endpoints on A, self-scrape /epochs and print
+//	                        the flight-recorder JSON plus a summary line
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -21,10 +29,15 @@ func main() {
 	cowsweep := flag.Bool("cowsweep", false, "run the COW-buffer sweep (Figure 4a)")
 	scale := flag.Int("scale", 2*experiments.ScaleBench, "memory division factor (1 = paper scale)")
 	maxProcs := flag.Int("procs", 32, "maximum process count")
+	debugAddr := flag.String("debug-addr", "", "run one instrumented CM1 simulation, serve the debug endpoints on this address and self-scrape /epochs")
 	flag.Parse()
 
+	if *debugAddr != "" {
+		runInstrumented(*debugAddr, *scale, *maxProcs)
+		return
+	}
 	if !*weak && !*cowsweep {
-		fmt.Fprintln(os.Stderr, "choose -weak and/or -cowsweep")
+		fmt.Fprintln(os.Stderr, "choose -weak, -cowsweep and/or -debug-addr")
 		os.Exit(2)
 	}
 	if *weak {
@@ -41,4 +54,42 @@ func main() {
 		rows := experiments.Fig4a(*scale, *maxProcs, []int{0, 1, 4, 16, 64, 256})
 		experiments.RenderFig4(os.Stdout, "Figure 4(a)", rows)
 	}
+}
+
+// runInstrumented is the observability smoke mode: one adaptive CM1 run
+// with the epoch flight recorder attached to process 0, the debug server
+// started on addr, and /epochs scraped back through HTTP — so a CI step
+// can grep the span tree and the scorecard out of stdout.
+func runInstrumented(addr string, scale, procs int) {
+	cfg := experiments.NewCM1Config(scale, procs)
+	var met *obs.Metrics
+	cfg.Metrics = func(now func() time.Duration) *obs.Metrics {
+		met = obs.New(now)
+		met.Journal = obs.NewJournal(1024)
+		met.Spans = obs.NewSpanLog(256)
+		return met
+	}
+	run := experiments.RunCM1(cfg, core.Adaptive, true)
+
+	srv, err := obs.StartServer(addr, met, func() []obs.EpochRecord { return run.Epochs })
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cm1sim: debug server:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	fmt.Printf("debug endpoint http://%s (/metrics /snapshot /trace /epochs)\n", srv.Addr())
+
+	resp, err := http.Get("http://" + srv.Addr() + "/epochs")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cm1sim: self-scrape:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		fmt.Fprintln(os.Stderr, "cm1sim: self-scrape:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("summary: epochs=%d hit_rate=%.3f rank_corr=%.3f avg_ckpt=%s makespan=%s\n",
+		len(run.Epochs), run.HitRate, run.RankCorrelation,
+		run.AvgCkptTime.Round(time.Microsecond), run.Runtime.Round(time.Microsecond))
 }

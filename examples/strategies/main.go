@@ -60,23 +60,23 @@ func main() {
 		rt.WaitIdle()
 		elapsed := time.Since(start)
 
-		var waits, cows, avoided int
-		var blocked time.Duration
-		for _, s := range rt.Stats() {
-			waits += s.Waits
-			cows += s.Cows
-			avoided += s.Avoided
-			blocked += s.BlockedInCheckpoint + s.WaitTime
-		}
+		// The summary's scorecard columns show WHY a strategy wins: the
+		// adaptive selector flushes in predicted fault order, so its rank
+		// correlation stays high and more faults land on already-flushed
+		// pages (hit rate) instead of blocking.
+		sum := aickpt.Summarize(rt.Stats())
 		if err := rt.Close(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-18s runtime=%8v app-blocked=%8v WAIT=%4d COW=%4d AVOIDED=%4d\n",
-			strategy, elapsed.Round(time.Millisecond), blocked.Round(time.Millisecond),
-			waits, cows, avoided)
+		fmt.Printf("%-18s runtime=%8v app-blocked=%8v WAIT=%4d COW=%4d AVOIDED=%4d hit=%5.2f corr=%5.2f\n",
+			strategy, elapsed.Round(time.Millisecond), sum.AppBlocked.Round(time.Millisecond),
+			sum.Waits, sum.CowAbsorbed, sum.Avoided, sum.HitRate, sum.RankCorrelation)
 	}
 	fmt.Println("\nlower app-blocked is better: the asynchronous strategies hide most")
 	fmt.Println("of the flush behind the application, while sync blocks for all of it.")
+	fmt.Println("The scorecard explains how each selector behaves: the adaptive flush")
+	fmt.Println("order tracks the fault order of this descending workload (corr near 1)")
+	fmt.Println("where the address-ordered flush shows no correlation at all.")
 	fmt.Println("Real-time sleep granularity blurs the adaptive-vs-no-pattern gap here;")
 	fmt.Println("run `go run ./cmd/experiments -fig 2` for the calibrated comparison.")
 }

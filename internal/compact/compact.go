@@ -110,11 +110,14 @@ func RunOnce(cfg Config, force bool) (Result, error) {
 	if m := cfg.Metrics; m != nil && err == nil {
 		m.ReclaimedBytes.Add(uint64(res.BytesReclaimed))
 		if res.Compacted {
-			d := int64(m.Now() - start)
+			end := m.Now()
+			d := int64(end - start)
 			m.FoldNs.Observe(d)
 			m.Compactions.Inc()
 			m.EpochsFolded.Add(uint64(res.EpochsFolded))
-			m.Trace(obs.StageCompact, res.BaseTo, -1, 0, res.BytesReclaimed)
+			m.TraceAt(end, obs.StageCompact, res.BaseTo, -1, 0, res.BytesReclaimed)
+			// The fold is attributed to the epoch the base ends at.
+			m.Span(obs.SpanCompact, res.BaseTo, 0, start, end)
 		} else {
 			m.CompactSkips.Inc()
 		}

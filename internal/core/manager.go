@@ -61,6 +61,15 @@ type Manager struct {
 	accessOrder int32
 	liveRanges  [][2]int // rotation scratch: live [first, end) page ranges
 
+	// Selector prediction scorecard state. flushRank records the pull
+	// order of the current epoch's flush (1-based, 0 = not pulled);
+	// together with index (the fault arrival order) it feeds the
+	// footrule accumulated in m.cur. heatShift buckets a page id into
+	// the per-epoch fault heatmaps: bucket = page >> heatShift, clamped.
+	flushRank []int32
+	flushSeq  int32
+	heatShift uint
+
 	cow          map[int][]byte // page -> pre-write copy (nil value: phantom)
 	cowUsed      int
 	cowPool      [][]byte  // recycled COW page copies (bounded by CowSlots)
@@ -168,6 +177,9 @@ func (m *Manager) ensureLocked(n int) {
 	lidx := make([]int32, grow)
 	copy(lidx, m.lastIndex)
 	m.lastIndex = lidx
+	fr := make([]int32, grow)
+	copy(fr, m.flushRank)
+	m.flushRank = fr
 	m.dirty.Grow(grow)
 	m.lastDirty.Grow(grow)
 	m.npages = grow
@@ -246,6 +258,7 @@ func (m *Manager) Checkpoint() {
 func (m *Manager) rotateLocked(start, blocked time.Duration) {
 	m.ensureLocked(m.space.NumPages())
 	if m.epoch > m.cfg.FirstEpoch {
+		m.finalizeScorecardLocked()
 		m.history = append(m.history, m.cur)
 	}
 	m.epoch++
@@ -269,8 +282,16 @@ func (m *Manager) rotateLocked(start, blocked time.Duration) {
 	m.space.ProtectLiveRegions(func(first, count int) {
 		clear(m.at[first : first+count])
 		clear(m.index[first : first+count])
+		clear(m.flushRank[first : first+count])
 		m.liveRanges = append(m.liveRanges, [2]int{first, first + count})
 	})
+	m.flushSeq = 0
+	// Size the heatmap buckets to the tracked page space; pages grown
+	// into existence mid-epoch clamp into the last bucket.
+	m.heatShift = 0
+	for m.npages>>m.heatShift > obs.HeatBuckets {
+		m.heatShift++
+	}
 	// Schedule the dirty pages of the closing epoch; drop freed pages. Both
 	// the dirty set and the range list are ascending, so one merged scan
 	// decides liveness without a per-page region lookup.
@@ -296,12 +317,58 @@ func (m *Manager) rotateLocked(start, blocked time.Duration) {
 	}
 }
 
+// finalizeScorecardLocked closes out the departing epoch's selector
+// prediction scorecard (its fault window ends at this rotation) and
+// publishes the once-per-epoch scorecard metric families. Runs at
+// rotation, off the per-page hot path.
+func (m *Manager) finalizeScorecardLocked() {
+	m.cur.FaultArrivals = int(m.accessOrder)
+	if m.obs != nil {
+		m.obs.SelectorHitRatePm.Observe(int64(m.cur.HitRate() * 1000))
+		m.obs.SelectorRankCorrPm.Observe(int64(m.cur.RankCorrelation() * 1000))
+		m.obs.WaitedQueuePeak.Observe(int64(m.cur.MaxWaitedDepth))
+	}
+}
+
+// notePullLocked records that page p was pulled for commit as the next
+// page of the epoch's flush order, and accumulates the footrule pair if
+// the page already faulted this epoch (the fault handler accumulates
+// the pair for the opposite arrival order). A few integer ops under the
+// lock already held — nothing allocates.
+func (m *Manager) notePullLocked(p int) {
+	m.flushSeq++
+	m.flushRank[p] = m.flushSeq
+	if fi := m.index[p]; fi != 0 {
+		m.cur.FootruleSum += footrule(m.flushSeq, fi)
+		m.cur.RankPairs++
+	}
+}
+
+// footrule is |a - b| widened to int64.
+func footrule(a, b int32) int64 {
+	d := int64(a) - int64(b)
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// heatBucket maps a page id into the per-epoch heatmaps.
+func (m *Manager) heatBucket(page int) int {
+	b := page >> m.heatShift
+	if b >= obs.HeatBuckets {
+		b = obs.HeatBuckets - 1
+	}
+	return b
+}
+
 // syncCommitLocked flushes the scheduled set inline in ascending page order
 // with the application blocked — the sync baseline of §4.2.
 func (m *Manager) syncCommitLocked() {
 	epoch := m.epoch
 	pageSize := m.space.PageSize()
 	for p := m.lastDirty.NextSet(0); p >= 0; p = m.lastDirty.NextSet(p + 1) {
+		m.notePullLocked(p)
 		data := m.space.PageData(p)
 		m.mu.Unlock()
 		err := m.store.WritePage(epoch, p, data, pageSize)
@@ -311,12 +378,21 @@ func (m *Manager) syncCommitLocked() {
 		m.lastDirty.Clear(p)
 	}
 	m.mu.Unlock()
+	var sstart time.Duration
+	if m.obs != nil {
+		sstart = m.env.Now()
+	}
 	err := m.store.EndEpoch(epoch)
 	m.mu.Lock()
 	m.noteErrLocked(err)
-	d := m.env.Now() - m.cur.Start
+	now := m.env.Now()
+	d := now - m.cur.Start
 	m.cur.Duration = d
 	m.cur.BlockedInCheckpoint += d
+	if m.obs != nil {
+		m.obs.Span(obs.SpanCommit, epoch, 0, m.cur.Start, now)
+		m.obs.Span(obs.SpanSeal, epoch, 0, sstart, now)
+	}
 }
 
 // committer is one worker of the ASYNC_COMMIT module (Algorithm 3,
@@ -399,6 +475,7 @@ func (m *Manager) flushEpochLocked(worker int) {
 		// the remaining set keeps the other workers (and the selector's
 		// stale-entry skipping) away from it.
 		m.lastDirty.Clear(p)
+		m.notePullLocked(p)
 		isCow := m.at[p] == Cow
 		var data []byte
 		if isCow {
@@ -458,6 +535,7 @@ func (m *Manager) flushEpochLocked(worker int) {
 			if m.cowUsed != 0 || len(m.cow) != 0 {
 				panic(fmt.Sprintf("core: %d COW slots leaked at end of epoch %d", m.cowUsed, epoch))
 			}
+			estart := m.cur.Start
 			m.mu.Unlock()
 			sstart := m.obs.Now()
 			err := m.store.EndEpoch(epoch)
@@ -467,6 +545,11 @@ func (m *Manager) flushEpochLocked(worker int) {
 				m.obs.SealNs.Observe(d)
 				m.obs.EpochsSealed.Inc()
 				m.obs.TraceAt(send, obs.StageSeal, epoch, -1, 0, d)
+				// Lifecycle spans, from the same clock reads: the commit
+				// span covers the whole local phase with the seal as its
+				// final child.
+				m.obs.Span(obs.SpanCommit, epoch, 0, estart, send)
+				m.obs.Span(obs.SpanSeal, epoch, 0, sstart, send)
 			}
 			m.mu.Lock()
 			m.noteErrLocked(err)
@@ -543,6 +626,9 @@ func (m *Manager) handleFault(page int) {
 		// the selectors maximize its priority. The queue dedups on enqueue,
 		// so several threads blocking on one page share a single entry.
 		m.waited.push(page)
+		if d := m.waited.len(); d > m.cur.MaxWaitedDepth {
+			m.cur.MaxWaitedDepth = d
+		}
 		waitStart := m.env.Now()
 		for m.state[page] != Processed {
 			m.pageDone.Wait()
@@ -561,6 +647,19 @@ func (m *Manager) handleFault(page int) {
 	m.dirty.Set(page)
 	m.accessOrder++
 	m.index[page] = m.accessOrder
+	// Scorecard: if the page was already pulled for commit this epoch we
+	// now know both its predicted and actual rank (the pull site handles
+	// the opposite order), and the fault lands in the heatmap. Plain
+	// integer ops under the lock — the fault path stays allocation-free.
+	if fr := m.flushRank[page]; fr != 0 {
+		m.cur.FootruleSum += footrule(fr, m.accessOrder)
+		m.cur.RankPairs++
+	}
+	hb := m.heatBucket(page)
+	m.cur.FaultHeat[hb]++
+	if m.at[page] == Cow {
+		m.cur.CowHeat[hb]++
+	}
 	epoch := m.epoch
 	m.space.Unprotect(page)
 	m.mu.Unlock()
@@ -630,7 +729,22 @@ func (m *Manager) Stats() []EpochStats {
 	out := make([]EpochStats, 0, len(m.history)+1)
 	out = append(out, m.history...)
 	if m.epoch > m.cfg.FirstEpoch {
-		out = append(out, m.cur)
+		cur := m.cur
+		// The live epoch's fault window is still open; report the
+		// arrivals so far (finalized for good at the next rotation).
+		cur.FaultArrivals = int(m.accessOrder)
+		out = append(out, cur)
+	}
+	return out
+}
+
+// Scorecards renders the selector prediction scorecard of every epoch
+// reported by Stats, in the observability wire form.
+func (m *Manager) Scorecards() []obs.Scorecard {
+	stats := m.Stats()
+	out := make([]obs.Scorecard, len(stats))
+	for i, ep := range stats {
+		out[i] = ep.Scorecard()
 	}
 	return out
 }

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/pagemem"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// TestScorecardVirtualDeterministic replays the deterministic access-type
+// scenario of TestAccessTypesVirtualDeterministic with full
+// instrumentation and asserts the exact selector scorecard: flush ranks,
+// fault arrival indices, the footrule sum accumulated exactly once per
+// flushed-and-faulted pair, the waited-queue peak and the heatmaps.
+//
+// Timeline (1 page per 100ms, adaptive, 1 COW slot, epoch-0 history is
+// empty so the initial flush order is ascending after the dynamic
+// classes): flush order 6 (waited), 7 (live COW), 0, 1, 2, 3, 4, 5.
+//
+//	rank:    6->1  7->2  0->3  1->4  2->5  3->6  4->7  5->8
+//	arrival: 7->1 (COW)  6->2 (indexed after the wait)  0->3  5->4
+//	footrule pairs: |2-1| + |1-2| + |3-3| + |8-4| = 6 over 4 pairs
+func TestScorecardVirtualDeterministic(t *testing.T) {
+	k := sim.NewKernel()
+	met := obs.New(k.Now)
+	met.Spans = obs.NewSpanLog(64)
+	space := pagemem.NewSpace(testPageSize)
+	link := netsim.NewLink(k, netsim.LinkConfig{Name: "disk", BytesPerSec: 10 * testPageSize})
+	m := NewManager(Config{
+		Env: k, Space: space, Store: storage.NewSimDisk(link),
+		Strategy: Adaptive, CowSlots: 1, Name: "score", Metrics: met,
+	})
+	r := space.Alloc(8*testPageSize, true)
+	k.Go("app", func() {
+		for i := 0; i < 8; i++ {
+			r.Touch(i)
+		}
+		m.Checkpoint() // epoch 1: 8 pages scheduled, flush takes 800ms
+		r.Touch(7)     // t=0: slot free -> COW, arrival 1
+		r.Touch(6)     // t=0: no slot -> WAIT until committed at 100ms, arrival 2
+		k.Sleep(350 * time.Millisecond)
+		r.Touch(0) // t=450ms: committed at 300ms, flush live -> AVOIDED, arrival 3
+		m.WaitIdle()
+		r.Touch(5)     // flush done -> AFTER, arrival 4
+		m.Checkpoint() // epoch 2: rotation finalizes epoch 1's scorecard
+		m.WaitIdle()
+		m.Close()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	stats := m.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("stats len = %d, want 2", len(stats))
+	}
+	ep := stats[0]
+	if ep.Waits != 1 || ep.Cows != 1 || ep.Avoided != 1 || ep.After != 1 {
+		t.Fatalf("classification = W%d C%d A%d F%d, want 1 each", ep.Waits, ep.Cows, ep.Avoided, ep.After)
+	}
+	if ep.PagesCommitted != 8 {
+		t.Fatalf("PagesCommitted = %d, want 8", ep.PagesCommitted)
+	}
+	if ep.FaultArrivals != 4 {
+		t.Fatalf("FaultArrivals = %d, want 4", ep.FaultArrivals)
+	}
+	if ep.RankPairs != 4 || ep.FootruleSum != 6 {
+		t.Fatalf("rank pairs/footrule = %d/%d, want 4/6 (exactly-once per pair)", ep.RankPairs, ep.FootruleSum)
+	}
+	if ep.MaxWaitedDepth != 1 {
+		t.Fatalf("MaxWaitedDepth = %d, want 1", ep.MaxWaitedDepth)
+	}
+	approx := func(a, b float64) bool { d := a - b; return d < 1e-9 && d > -1e-9 }
+	if !approx(ep.HitRate(), 1.0/3.0) {
+		t.Fatalf("HitRate = %v, want 1/3", ep.HitRate())
+	}
+	// scale = max(flushed 8, arrivals 4) = 8: corr = 1 - 3*6/(4*7).
+	if !approx(ep.RankCorrelation(), 1-18.0/28.0) {
+		t.Fatalf("RankCorrelation = %v, want %v", ep.RankCorrelation(), 1-18.0/28.0)
+	}
+
+	// 8 pages over 32 buckets: shift 0, bucket == page.
+	cards := m.Scorecards()
+	if len(cards) != 2 {
+		t.Fatalf("scorecards len = %d, want 2", len(cards))
+	}
+	sc := cards[0]
+	if sc.Epoch != 1 || sc.PagesFlushed != 8 || !approx(sc.HitRate, 1.0/3.0) {
+		t.Fatalf("scorecard = %+v", sc)
+	}
+	wantFault := map[int]uint32{0: 1, 5: 1, 6: 1, 7: 1}
+	for b, n := range sc.FaultHeat {
+		if n != wantFault[b] {
+			t.Fatalf("FaultHeat[%d] = %d, want %d", b, n, wantFault[b])
+		}
+	}
+	for b, n := range sc.CowHeat {
+		want := uint32(0)
+		if b == 7 {
+			want = 1
+		}
+		if n != want {
+			t.Fatalf("CowHeat[%d] = %d, want %d", b, n, want)
+		}
+	}
+
+	// Rotation observed the finalized scorecard into the histograms.
+	if snap := met.SelectorHitRatePm.Snapshot(); snap.Count < 1 || snap.Max != 333 {
+		t.Fatalf("hit-rate histogram = count %d max %d, want max 333 (1/3 in permille)", snap.Count, snap.Max)
+	}
+	if snap := met.WaitedQueuePeak.Snapshot(); snap.Max != 1 {
+		t.Fatalf("waited-queue peak max = %d, want 1", snap.Max)
+	}
+	if snap := met.SelectorRankCorrPm.Snapshot(); snap.Max != 357 {
+		t.Fatalf("rank-corr histogram max = %d, want 357 (5/14 in permille)", snap.Max)
+	}
+
+	// Lifecycle spans carry exact virtual timestamps: epoch 1's commit
+	// spans [0, 800ms] and seals instantly at 800ms; epoch 2 re-flushes
+	// the 4 re-dirtied pages over [800ms, 1200ms].
+	spans := met.Spans.Snapshot()
+	byEpoch := map[uint64]map[obs.SpanKind]obs.Span{}
+	for _, s := range spans {
+		if byEpoch[s.Epoch] == nil {
+			byEpoch[s.Epoch] = map[obs.SpanKind]obs.Span{}
+		}
+		byEpoch[s.Epoch][s.Kind] = s
+	}
+	c1 := byEpoch[1][obs.SpanCommit]
+	if c1.Start != 0 || c1.End != 800*time.Millisecond {
+		t.Fatalf("epoch 1 commit span = [%v, %v], want [0, 800ms]", c1.Start, c1.End)
+	}
+	s1 := byEpoch[1][obs.SpanSeal]
+	if s1.Start != 800*time.Millisecond || s1.End != 800*time.Millisecond {
+		t.Fatalf("epoch 1 seal span = [%v, %v], want [800ms, 800ms]", s1.Start, s1.End)
+	}
+	c2 := byEpoch[2][obs.SpanCommit]
+	if c2.Start != 800*time.Millisecond || c2.End != 1200*time.Millisecond {
+		t.Fatalf("epoch 2 commit span = [%v, %v], want [800ms, 1200ms]", c2.Start, c2.End)
+	}
+}
+
+// TestScorecardSyncPath covers the synchronous strategy: every dirty page
+// is pulled in one blocking commit, so the scorecard records the flush
+// ranks but no overlapping faults, and the commit/seal spans cover the
+// blocking call exactly.
+func TestScorecardSyncPath(t *testing.T) {
+	k := sim.NewKernel()
+	met := obs.New(k.Now)
+	met.Spans = obs.NewSpanLog(16)
+	space := pagemem.NewSpace(testPageSize)
+	link := netsim.NewLink(k, netsim.LinkConfig{Name: "disk", BytesPerSec: 10 * testPageSize})
+	m := NewManager(Config{
+		Env: k, Space: space, Store: storage.NewSimDisk(link),
+		Strategy: Sync, Name: "sync-score", Metrics: met,
+	})
+	r := space.Alloc(4*testPageSize, true)
+	k.Go("app", func() {
+		for i := 0; i < 4; i++ {
+			r.Touch(i)
+		}
+		m.Checkpoint() // blocks 400ms
+		m.Close()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ep := m.Stats()[0]
+	if ep.FaultArrivals != 0 || ep.RankPairs != 0 || ep.FootruleSum != 0 {
+		t.Fatalf("sync epoch saw phantom faults: %+v", ep)
+	}
+	if ep.HitRate() != 0 || ep.RankCorrelation() != 0 {
+		t.Fatalf("sync scorecard must be neutral: hit %v corr %v", ep.HitRate(), ep.RankCorrelation())
+	}
+	spans := met.Spans.Snapshot()
+	var commit *obs.Span
+	for i := range spans {
+		if spans[i].Kind == obs.SpanCommit && spans[i].Epoch == 1 {
+			commit = &spans[i]
+		}
+	}
+	if commit == nil {
+		t.Fatal("sync path recorded no commit span")
+	}
+	if commit.Start != 0 || commit.End != 400*time.Millisecond {
+		t.Fatalf("sync commit span = [%v, %v], want [0, 400ms]", commit.Start, commit.End)
+	}
+}

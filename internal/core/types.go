@@ -183,4 +183,62 @@ type EpochStats struct {
 	Duration time.Duration
 	// Start is the virtual time of the checkpoint request.
 	Start time.Duration
+
+	// Selector prediction scorecard, accumulated at the commit/fault
+	// sites (see obs.Scorecard for the derived wire form).
+
+	// FaultArrivals is the number of first-write faults taken during the
+	// epoch — the length of the actual access order the selector tried
+	// to predict.
+	FaultArrivals int
+	// RankPairs counts pages both flushed and faulted this epoch;
+	// FootruleSum accumulates |flushRank - faultIndex| over them — the
+	// Spearman footrule between predicted flush order and actual fault
+	// arrival order.
+	RankPairs   int
+	FootruleSum int64
+	// MaxWaitedDepth is the peak depth of the waited-page queue during
+	// the epoch (how many first writes were stacked up blocked at the
+	// worst moment).
+	MaxWaitedDepth int
+	// FaultHeat and CowHeat split fault locations (all faults /
+	// COW-absorbed only) over obs.HeatBuckets equal regions of the page
+	// space.
+	FaultHeat [obs.HeatBuckets]uint32
+	CowHeat   [obs.HeatBuckets]uint32
+}
+
+// HitRate is the flushed-before-faulted hit rate of the epoch:
+// AVOIDED / (WAIT + COW + AVOIDED), 0 when no overlapping access
+// happened.
+func (e EpochStats) HitRate() float64 {
+	return obs.ScoreHitRate(e.Waits, e.Cows, e.Avoided)
+}
+
+// RankCorrelation is the footrule rank correlation between the
+// selector's flush order and the actual fault arrival order (1 =
+// identical orders, ~0 = random, negative = anti-correlated).
+func (e EpochStats) RankCorrelation() float64 {
+	return obs.ScoreRankCorrelation(e.FootruleSum, e.RankPairs, e.PagesCommitted, e.FaultArrivals)
+}
+
+// Scorecard renders the epoch's selector prediction scorecard in the
+// observability wire form. Cold path: allocates the heatmap slices.
+func (e EpochStats) Scorecard() obs.Scorecard {
+	return obs.Scorecard{
+		Epoch:           e.Epoch,
+		PagesFlushed:    e.PagesCommitted,
+		FaultArrivals:   e.FaultArrivals,
+		Waits:           e.Waits,
+		Cows:            e.Cows,
+		Avoided:         e.Avoided,
+		After:           e.After,
+		MaxWaitedDepth:  e.MaxWaitedDepth,
+		RankPairs:       e.RankPairs,
+		FootruleSum:     e.FootruleSum,
+		HitRate:         e.HitRate(),
+		RankCorrelation: e.RankCorrelation(),
+		FaultHeat:       append([]uint32(nil), e.FaultHeat[:]...),
+		CowHeat:         append([]uint32(nil), e.CowHeat[:]...),
+	}
 }

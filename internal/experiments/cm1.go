@@ -7,6 +7,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/pagemem"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -27,6 +28,13 @@ type CM1Config struct {
 
 	FaultCost   time.Duration
 	CowCopyCost time.Duration
+
+	// Metrics, when non-nil, is called with the run's virtual clock and
+	// must return the obs.Metrics to attach to process 0's page manager —
+	// instrumenting one representative process keeps the flight
+	// recorder's epoch attribution unambiguous. Run.Epochs then carries
+	// that process's scorecards and lifecycle span trees.
+	Metrics func(now func() time.Duration) *obs.Metrics
 }
 
 // NewCM1Config returns the paper's CM1 configuration shrunk by scale.
@@ -79,6 +87,10 @@ func RunCM1(cfg CM1Config, strategy core.Strategy, withCkpt bool) Run {
 	bar := cluster.NewBarrier(k, cfg.Procs)
 	wg := sim.NewWaitGroup(k)
 	managers := make([]*core.Manager, cfg.Procs)
+	var met *obs.Metrics
+	if cfg.Metrics != nil && withCkpt {
+		met = cfg.Metrics(k.Now)
+	}
 
 	for i := 0; i < cfg.Procs; i++ {
 		i := i
@@ -89,6 +101,10 @@ func RunCM1(cfg CM1Config, strategy core.Strategy, withCkpt bool) Run {
 		proc.Exchange = func(b int64) { d.Exchange(i, b) }
 		proc.Barrier = bar.Wait
 		if withCkpt {
+			var procMet *obs.Metrics
+			if i == 0 {
+				procMet = met
+			}
 			managers[i] = core.NewManager(core.Config{
 				Env:         k,
 				Space:       space,
@@ -98,6 +114,7 @@ func RunCM1(cfg CM1Config, strategy core.Strategy, withCkpt bool) Run {
 				FaultCost:   cfg.FaultCost,
 				CowCopyCost: cfg.CowCopyCost,
 				Name:        fmt.Sprintf("cm1-%d", i),
+				Metrics:     procMet,
 			})
 			proc.Checkpoint = managers[i].Checkpoint
 		}
@@ -129,7 +146,14 @@ func RunCM1(cfg CM1Config, strategy core.Strategy, withCkpt bool) Run {
 		for _, m := range managers {
 			all = append(all, m.Stats())
 		}
-		run.AvgCkptTime, run.AvgWaits, run.AvgCows, run.AvgAvoided, run.AvgAfter = averageStats(nil, all)
+		foldStats(&run, all)
+		if met != nil {
+			var spans []obs.Span
+			if met.Spans != nil {
+				spans = met.Spans.Snapshot()
+			}
+			run.Epochs = obs.BuildEpochRecords(managers[0].Scorecards(), spans)
+		}
 	}
 	return run
 }

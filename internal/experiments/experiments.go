@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Scale presets.
@@ -53,6 +54,18 @@ type Run struct {
 	AvgCows    float64
 	AvgAvoided float64
 	AvgAfter   float64
+	// Selector prediction scorecard, aggregated over every process and
+	// epoch: HitRate is avoided/(waits+cows+avoided) — of the pages the
+	// application touched while a checkpoint was live, the fraction the
+	// selector had already flushed. RankCorrelation is the pair-weighted
+	// footrule correlation between predicted flush order and actual
+	// fault arrivals (1 = flushed exactly in fault order).
+	HitRate         float64
+	RankCorrelation float64
+	// Epochs carries the instrumented process's flight-recorder records
+	// (scorecards + lifecycle span trees) when the run was wired with a
+	// Metrics hook; nil otherwise.
+	Epochs []obs.EpochRecord
 }
 
 // Overhead is the increase in execution time versus baseline.
@@ -69,12 +82,15 @@ func ReductionVsSync(async, sync Run) float64 {
 	return (1 - async.Overhead().Seconds()/syncOv) * 100
 }
 
-// averageStats folds per-epoch manager statistics into a Run, skipping the
-// first (full) checkpoint for the checkpointing-time metric.
-func averageStats(runs []Run, all [][]core.EpochStats) (avgCkpt time.Duration, w, c, a, f float64) {
+// foldStats folds per-epoch manager statistics into a Run, skipping the
+// first (full) checkpoint for the checkpointing-time metric, and
+// aggregates the selector scorecard across every process and epoch.
+func foldStats(run *Run, all [][]core.EpochStats) {
 	var ckptSum time.Duration
 	var ckptN int
 	var wSum, cSum, aSum, fSum, n float64
+	var waits, cows, avoided, pairs int
+	var corrWeighted float64
 	for _, stats := range all {
 		for i, ep := range stats {
 			if i > 0 { // skip the full checkpoint, as the paper does
@@ -85,15 +101,24 @@ func averageStats(runs []Run, all [][]core.EpochStats) (avgCkpt time.Duration, w
 			cSum += float64(ep.Cows)
 			aSum += float64(ep.Avoided)
 			fSum += float64(ep.After)
+			waits += ep.Waits
+			cows += ep.Cows
+			avoided += ep.Avoided
+			if ep.RankPairs > 0 {
+				corrWeighted += ep.RankCorrelation() * float64(ep.RankPairs)
+				pairs += ep.RankPairs
+			}
 			n++
 		}
 	}
-	_ = runs
 	if ckptN > 0 {
-		avgCkpt = ckptSum / time.Duration(ckptN)
+		run.AvgCkptTime = ckptSum / time.Duration(ckptN)
 	}
 	if n > 0 {
-		w, c, a, f = wSum/n, cSum/n, aSum/n, fSum/n
+		run.AvgWaits, run.AvgCows, run.AvgAvoided, run.AvgAfter = wSum/n, cSum/n, aSum/n, fSum/n
 	}
-	return avgCkpt, w, c, a, f
+	run.HitRate = obs.ScoreHitRate(waits, cows, avoided)
+	if pairs > 0 {
+		run.RankCorrelation = corrWeighted / float64(pairs)
+	}
 }

@@ -3,8 +3,10 @@ package experiments
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -134,6 +136,67 @@ func TestRenderers(t *testing.T) {
 	for _, want := range []string{"Random", "our-approach", "sync", "async-no-pattern", "Figure 4(a)", "Figure 5"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("rendered output missing %q", want)
+		}
+	}
+}
+
+// TestScorecardDistinguishesStrategies asserts that the selector
+// prediction scorecard separates the adaptive selector from the
+// ascending (no-pattern) flush order. On a descending workload the
+// ascending order is maximally wrong: the adaptive selector must win on
+// hit rate (more faults landing on already-flushed pages) and show a
+// strongly positive rank correlation where ascending goes negative.
+func TestScorecardDistinguishesStrategies(t *testing.T) {
+	cfg := NewSyntheticConfig(ScaleBench, workload.Descending)
+	ours := RunSynthetic(cfg, core.Adaptive)
+	np := RunSynthetic(cfg, core.NoPattern)
+	if ours.HitRate <= np.HitRate {
+		t.Errorf("descending: adaptive hit rate %.3f should exceed ascending %.3f", ours.HitRate, np.HitRate)
+	}
+	if ours.RankCorrelation < 0.8 {
+		t.Errorf("adaptive rank correlation = %.3f, want strongly positive (selector predicts fault order)", ours.RankCorrelation)
+	}
+	if np.RankCorrelation > 0.2 {
+		t.Errorf("ascending-on-descending rank correlation = %.3f, want near zero or negative", np.RankCorrelation)
+	}
+}
+
+// TestCM1ScorecardSelectorSignal runs the CM1 study with the flight
+// recorder attached: the adaptive selector's rank correlation must beat
+// the ascending order's (it flushes in predicted fault order), both
+// strategies must see a live scorecard (nonzero overlapping faults), and
+// the instrumented run must yield per-epoch records with both a
+// scorecard and a well-formed span tree.
+func TestCM1ScorecardSelectorSignal(t *testing.T) {
+	cfg := NewCM1Config(ScaleTiny, 2)
+	cfg.Metrics = func(now func() time.Duration) *obs.Metrics {
+		m := obs.New(now)
+		m.Spans = obs.NewSpanLog(64)
+		return m
+	}
+	ours := RunCM1(cfg, core.Adaptive, true)
+	np := RunCM1(cfg, core.NoPattern, true)
+	if ours.RankCorrelation <= np.RankCorrelation {
+		t.Errorf("adaptive rank correlation %.3f should exceed ascending %.3f",
+			ours.RankCorrelation, np.RankCorrelation)
+	}
+	if ours.HitRate <= 0 || np.HitRate <= 0 {
+		t.Errorf("hit rates must be nonzero with overlapping faults: ours %.3f, np %.3f",
+			ours.HitRate, np.HitRate)
+	}
+	if len(ours.Epochs) == 0 {
+		t.Fatal("instrumented run produced no epoch records")
+	}
+	for _, r := range ours.Epochs {
+		if r.Scorecard == nil {
+			t.Errorf("epoch %d record has no scorecard", r.Epoch)
+			continue
+		}
+		if r.Spans == nil || r.Spans.Kind != "epoch" || len(r.Spans.Children) == 0 {
+			t.Errorf("epoch %d record has a malformed span tree: %+v", r.Epoch, r.Spans)
+		}
+		if r.Bounding == "" || r.TotalNs <= 0 {
+			t.Errorf("epoch %d record lacks a critical path: %+v", r.Epoch, r)
 		}
 	}
 }

@@ -138,7 +138,7 @@ func RunMILC(cfg MILCConfig, strategy core.Strategy, withCkpt bool) Run {
 		for _, m := range managers {
 			all = append(all, m.Stats())
 		}
-		run.AvgCkptTime, run.AvgWaits, run.AvgCows, run.AvgAvoided, run.AvgAfter = averageStats(nil, all)
+		foldStats(&run, all)
 	}
 	return run
 }

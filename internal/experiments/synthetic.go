@@ -115,8 +115,7 @@ func RunSynthetic(cfg SyntheticConfig, strategy core.Strategy) Run {
 		panic("experiments: synthetic run failed: " + err.Error())
 	}
 	run := Run{Strategy: strategy, Runtime: runtime}
-	run.AvgCkptTime, run.AvgWaits, run.AvgCows, run.AvgAvoided, run.AvgAfter =
-		averageStats(nil, [][]core.EpochStats{mgr.Stats()})
+	foldStats(&run, [][]core.EpochStats{mgr.Stats()})
 	return run
 }
 

@@ -126,6 +126,10 @@ type drainJob struct {
 	// replaced by a newer compaction while the job is in flight, and the
 	// replacement's Tiers slice need not cover every level this job visits.
 	man *EpochManifest
+	// enqueuedAt stamps when the job entered the current tier's queue
+	// (the Metrics' time source; zero when observability is off or the
+	// job came from the recovery scan), feeding the drain-wait span.
+	enqueuedAt time.Duration
 }
 
 // New builds a hierarchy and starts its drain workers. Epochs already
@@ -404,10 +408,13 @@ func (h *Hierarchy) enqueueLocked(ti int, job drainJob) {
 	for len(h.queues[ti]) >= h.policy.QueueDepth {
 		h.notFull[ti].Wait()
 	}
+	// One clock read serves both the drain-wait span (via the job stamp)
+	// and the trace event.
+	job.enqueuedAt = h.obs.Now()
 	h.queues[ti] = append(h.queues[ti], job)
 	h.noteQueueLocked(ti)
 	if h.obs != nil {
-		h.obs.Trace(obs.StageDrain, job.epoch, -1, int8(ti+1), int64(len(h.queues[ti])))
+		h.obs.TraceAt(job.enqueuedAt, obs.StageDrain, job.epoch, -1, int8(ti+1), int64(len(h.queues[ti])))
 	}
 	h.notEmpty[ti].Signal()
 }
@@ -536,6 +543,10 @@ func (h *Hierarchy) drainOne(ti int, job drainJob) {
 			d := int64(pend - pstart)
 			h.obs.PromoteNs[obs.TierIndex(ti+1)].Observe(d)
 			h.obs.TraceAt(pend, obs.StagePromote, job.epoch, -1, int8(ti+1), d)
+			// Lifecycle spans from the clock reads already taken: time
+			// queued behind earlier epochs, then the store itself.
+			h.obs.Span(obs.SpanDrainWait, job.epoch, int8(ti+1), job.enqueuedAt, pstart)
+			h.obs.Span(obs.SpanPromote, job.epoch, int8(ti+1), pstart, pend)
 		}
 	}
 	h.mirror(m)

@@ -41,6 +41,7 @@ func (h *Hierarchy) Restore() (*ckpt.Image, []RestoreStep, error) {
 	// Try the local tier's compacted base first.
 	var skipTo uint64
 	if ch, err := ckpt.LoadChain(h.local.FS()); err == nil && ch.Base != nil {
+		bstart := h.obs.Now()
 		if pages, err := ckpt.ReadBasePages(h.local.FS(), *ch.Base); err == nil {
 			for id, data := range pages {
 				im.Pages[id] = data
@@ -50,9 +51,11 @@ func (h *Hierarchy) Restore() (*ckpt.Image, []RestoreStep, error) {
 			im.SegmentsRead++
 			folded++
 			if h.obs != nil {
+				bend := h.obs.Now()
 				h.obs.RestoreEpochs.Inc()
 				h.obs.RestorePages.Add(uint64(len(pages)))
-				h.obs.Trace(obs.StageRestore, skipTo, -1, 0, int64(len(pages)))
+				h.obs.TraceAt(bend, obs.StageRestore, skipTo, -1, 0, int64(len(pages)))
+				h.obs.Span(obs.SpanRestore, skipTo, 0, bstart, bend)
 			}
 			steps = append(steps, RestoreStep{
 				Epoch: skipTo,
@@ -95,13 +98,15 @@ func (h *Hierarchy) Restore() (*ckpt.Image, []RestoreStep, error) {
 		var fallbacks []string
 		var ep *EpochData
 		var from string
-		for _, t := range tiers {
+		var level int8
+		rstart := h.obs.Now()
+		for li, t := range tiers {
 			loaded, err := t.Load(epoch)
 			if err != nil {
 				fallbacks = append(fallbacks, fmt.Sprintf("%s: %v", t.Name(), err))
 				continue
 			}
-			ep, from = loaded, t.Name()
+			ep, from, level = loaded, t.Name(), int8(li)
 			break
 		}
 		if ep == nil {
@@ -115,9 +120,15 @@ func (h *Hierarchy) Restore() (*ckpt.Image, []RestoreStep, error) {
 		im.SegmentsRead++
 		folded++
 		if h.obs != nil {
+			rend := h.obs.Now()
 			h.obs.RestoreEpochs.Inc()
 			h.obs.RestorePages.Add(uint64(len(ep.Pages)))
-			h.obs.Trace(obs.StageRestore, epoch, -1, 0, int64(len(ep.Pages)))
+			h.obs.TraceAt(rend, obs.StageRestore, epoch, -1, level, int64(len(ep.Pages)))
+			// The restore span's tier is the level that finally served
+			// the epoch; its duration includes the failed probes of the
+			// faster tiers above it — that lost time is real restore
+			// latency and belongs to this epoch.
+			h.obs.Span(obs.SpanRestore, epoch, level, rstart, rend)
 		}
 		steps = append(steps, RestoreStep{Epoch: epoch, Tier: from, Detail: strings.Join(fallbacks, "; ")})
 	}

@@ -1,0 +1,173 @@
+package multilevel
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/compact"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// metricsHierarchy is testHierarchy with a flight recorder attached.
+func metricsHierarchy(t *testing.T, k *sim.Kernel, tiers int, met *obs.Metrics) (*Hierarchy, *PeerTier, *LocalTier) {
+	t.Helper()
+	link := func(name string, bps float64, per time.Duration) *netsim.Link {
+		return netsim.NewLink(k, netsim.LinkConfig{Name: name, BytesPerSec: bps, PerMessage: per})
+	}
+	disk := link("node0-disk", 55e6, 0)
+	nic := link("node0-nic", 117.5e6, 0)
+
+	local := NewLocalTier(k, "local", &ckpt.MemFS{}, pageSize, storage.NewSimDisk(disk))
+	var lower []Tier
+	var peer *PeerTier
+	var pfs *LocalTier
+	if tiers >= 2 {
+		peers := make([]*PeerNode, 3)
+		for i := range peers {
+			peers[i] = NewPeerNode(fmt.Sprintf("node%d", i+1), link(fmt.Sprintf("node%d-nic", i+1), 117.5e6, 0))
+		}
+		var err error
+		peer, err = NewPeerTier("peer", 2, 1, peers, nic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lower = append(lower, peer)
+	}
+	if tiers >= 3 {
+		servers := []*netsim.Link{link("pfs0", 100e6, 10*time.Microsecond), link("pfs1", 100e6, 10*time.Microsecond)}
+		pfs = NewLocalTier(k, "pfs", &ckpt.MemFS{}, pageSize, storage.NewSimPFS(nic, servers))
+		lower = append(lower, pfs)
+	}
+	h, err := New(Config{Env: k, PageSize: pageSize, Local: local, Lower: lower, Metrics: met})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, peer, pfs
+}
+
+// TestRestoreSpansAttributeTierLatency wipes L1 and fails one peer, then
+// restores from the erasure tier: each epoch must carry a restore span
+// attributed to tier 1 whose virtual timestamps tile the restore
+// interval exactly — span i+1 starts the instant span i ends, because
+// folding pages into the image costs no virtual time, so any gap or
+// overlap would mean a wrong clock read. The spans roll up into epoch
+// records whose bounding stage is restore[1].
+func TestRestoreSpansAttributeTierLatency(t *testing.T) {
+	k := sim.NewKernel()
+	met := obs.New(k.Now)
+	met.Spans = obs.NewSpanLog(64)
+	h, peer, _ := metricsHierarchy(t, k, 2, met)
+	runWorkload(t, k, h, func(snapshot []byte) {
+		if err := h.Local().Wipe(); err != nil {
+			t.Fatal(err)
+		}
+		peer.Nodes()[0].Fail()
+		start := k.Now()
+		im, _, err := h.Restore()
+		if err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+		end := k.Now()
+		if end <= start {
+			t.Fatal("restore consumed no virtual time")
+		}
+		verifyImage(t, im, snapshot)
+
+		var restores []obs.Span
+		for _, s := range met.Spans.Snapshot() {
+			if s.Kind == obs.SpanRestore {
+				restores = append(restores, s)
+			}
+		}
+		if len(restores) != 3 {
+			t.Fatalf("got %d restore spans, want one per epoch: %+v", len(restores), restores)
+		}
+		for i, s := range restores {
+			if s.Epoch != uint64(i+1) {
+				t.Errorf("restore span %d is epoch %d, want %d", i, s.Epoch, i+1)
+			}
+			if s.Tier != 1 {
+				t.Errorf("epoch %d restored span attributed to tier %d, want 1 (peer)", s.Epoch, s.Tier)
+			}
+			if s.Dur() <= 0 {
+				t.Errorf("epoch %d restore span has non-positive duration %v", s.Epoch, s.Dur())
+			}
+		}
+		// Exact virtual-time tiling: the spans cover [start, end] with no
+		// gaps — the probe of the wiped local tier is instant, the erasure
+		// read is the only time cost, and the next epoch begins where the
+		// previous one ended.
+		if restores[0].Start != start {
+			t.Errorf("first restore span starts at %v, want %v", restores[0].Start, start)
+		}
+		if last := restores[len(restores)-1].End; last != end {
+			t.Errorf("last restore span ends at %v, want %v", last, end)
+		}
+		for i := 1; i < len(restores); i++ {
+			if restores[i].Start != restores[i-1].End {
+				t.Errorf("restore spans not contiguous: span %d starts %v, span %d ended %v",
+					i, restores[i].Start, i-1, restores[i-1].End)
+			}
+		}
+
+		// The spans roll up into per-epoch records bounded by restore[1].
+		recs := obs.BuildEpochRecords(nil, restores)
+		if len(recs) != 3 {
+			t.Fatalf("got %d epoch records, want 3", len(recs))
+		}
+		for _, r := range recs {
+			if r.Bounding != "restore[1]" {
+				t.Errorf("epoch %d bounding = %q, want restore[1]", r.Epoch, r.Bounding)
+			}
+			if r.TotalNs <= 0 || r.Spans == nil {
+				t.Errorf("epoch %d record incomplete: %+v", r.Epoch, r)
+			}
+		}
+	})
+}
+
+// TestRestoreSpanBaseFromCompactedChain restores a hierarchy whose local
+// chain was compacted: the folded base restore must appear as one
+// restore span on tier 0 attributed to the base's upper epoch.
+func TestRestoreSpanBaseFromCompactedChain(t *testing.T) {
+	k := sim.NewKernel()
+	met := obs.New(k.Now)
+	met.Spans = obs.NewSpanLog(64)
+	h, _, _ := metricsHierarchy(t, k, 2, met)
+	runWorkload(t, k, h, func(snapshot []byte) {
+		cfg := compactionCfg(h, compact.Policy{MaxDepth: 1})
+		cfg.Metrics = met
+		if _, err := compact.RunOnce(cfg, true); err != nil {
+			t.Fatalf("compact: %v", err)
+		}
+		im, _, err := h.Restore()
+		if err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+		verifyImage(t, im, snapshot)
+		var base *obs.Span
+		for _, s := range met.Spans.Snapshot() {
+			if s.Kind == obs.SpanRestore && s.Tier == 0 {
+				s := s
+				base = &s
+			}
+		}
+		if base == nil {
+			t.Fatal("no tier-0 restore span for the folded base")
+		}
+		if base.Epoch != 3 {
+			t.Errorf("base restore span epoch = %d, want 3 (the base's upper bound)", base.Epoch)
+		}
+		// The base is read straight off the local FS with no simulated
+		// link, so its virtual duration may legitimately be zero — it must
+		// only never be negative.
+		if base.Dur() < 0 {
+			t.Errorf("base restore span duration = %v, want >= 0", base.Dur())
+		}
+	})
+}

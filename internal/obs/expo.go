@@ -88,6 +88,9 @@ func (m *Metrics) histRefs() []histRef {
 		{"aickpt_core_commit_write_ns", "", "per-page backend write latency", &m.CommitWriteNs},
 		{"aickpt_core_selector_build_ns", "", "adaptive flush-order build time", &m.SelectorBuildNs},
 		{"aickpt_core_seal_ns", "", "EndEpoch latency", &m.SealNs},
+		{"aickpt_core_selector_hit_rate_pm", "", "per-epoch flushed-before-faulted hit rate (per mille)", &m.SelectorHitRatePm},
+		{"aickpt_core_selector_rank_corr_pm", "", "per-epoch footrule rank correlation (per mille, clamped at 0)", &m.SelectorRankCorrPm},
+		{"aickpt_core_waited_queue_peak", "", "per-epoch peak waited-queue depth", &m.WaitedQueuePeak},
 		{"aickpt_ckpt_record_write_ns", "", "repository WritePage latency", &m.RecordWriteNs},
 		{"aickpt_ckpt_manifest_write_ns", "", "manifest write latency at seal", &m.ManifestWriteNs},
 		{"aickpt_compact_fold_ns", "", "duration of compaction passes that folded", &m.FoldNs},

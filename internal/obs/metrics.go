@@ -212,6 +212,7 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 type Metrics struct {
 	now     func() time.Duration
 	Journal *Journal // optional bounded trace journal (nil: tracing off)
+	Spans   *SpanLog // optional lifecycle span log (nil: spans off)
 
 	// Core page-manager metrics (internal/core).
 	CheckpointsTotal    Counter             // Checkpoint() calls
@@ -230,6 +231,12 @@ type Metrics struct {
 	EpochsSealed        Counter             // epochs sealed by EndEpoch
 	SealNs              Histogram           // EndEpoch latency
 	WorkerPages         [MaxWorkers]Counter // per-worker committed pages
+
+	// Selector prediction scorecard, observed once per sealed epoch at
+	// rotation (cold relative to the per-page path).
+	SelectorHitRatePm  Histogram // per-epoch flushed-before-faulted hit rate, per mille
+	SelectorRankCorrPm Histogram // per-epoch footrule rank correlation, per mille (negative clamps to 0)
+	WaitedQueuePeak    Histogram // per-epoch peak waited-queue depth
 
 	// Repository metrics (internal/ckpt).
 	RecordWriteNs    Histogram // WritePage latency (incl. hash+encode+stage), sampled 1-in-8

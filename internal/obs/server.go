@@ -22,29 +22,46 @@ type traceEvent struct {
 
 // Server is the opt-in debug HTTP server: Prometheus text exposition at
 // /metrics, the trace journal at /trace, a machine-readable metric
-// snapshot at /snapshot, and the standard pprof handlers under
-// /debug/pprof/. It reads the shared Metrics with atomic loads only, so
-// a scrape can never block the checkpoint pipeline.
+// snapshot at /snapshot, the epoch flight recorder at /epochs, and the
+// standard pprof handlers under /debug/pprof/. It reads the shared
+// Metrics with atomic loads only, so a scrape can never block the
+// checkpoint pipeline.
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
 }
 
+// getOnly rejects every method but GET with 405 so the read-only debug
+// endpoints cannot be mistaken for mutation APIs.
+func getOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
 // Handler returns the debug mux for m, usable standalone (e.g. to mount
-// under an existing server) or via StartServer.
-func Handler(m *Metrics) http.Handler {
+// under an existing server) or via StartServer. epochs optionally
+// supplies the flight-recorder payload for /epochs — the owner of the
+// Metrics (the Runtime, a bench harness) assembles scorecards and span
+// trees into EpochRecords on demand; nil serves an empty list.
+func Handler(m *Metrics, epochs func() []EpochRecord) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/metrics", getOnly(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		m.WritePrometheus(w)
-	})
-	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/snapshot", getOnly(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(m.TakeSnapshot())
-	})
-	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/trace", getOnly(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		events := []traceEvent{}
 		if m != nil && m.Journal != nil {
@@ -58,7 +75,19 @@ func Handler(m *Metrics) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(events)
-	})
+	}))
+	mux.HandleFunc("/epochs", getOnly(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		records := []EpochRecord{}
+		if epochs != nil {
+			if rs := epochs(); rs != nil {
+				records = rs
+			}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(records)
+	}))
 	// pprof must be registered explicitly: the mux above is not the
 	// DefaultServeMux the pprof package self-registers on.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -70,13 +99,14 @@ func Handler(m *Metrics) http.Handler {
 }
 
 // StartServer listens on addr (e.g. "127.0.0.1:0") and serves the debug
-// endpoints for m in a background goroutine.
-func StartServer(addr string, m *Metrics) (*Server, error) {
+// endpoints for m in a background goroutine. epochs feeds /epochs (see
+// Handler); nil serves an empty list.
+func StartServer(addr string, m *Metrics, epochs func() []EpochRecord) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: Handler(m), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: Handler(m, epochs), ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln)
 	return &Server{ln: ln, srv: srv}, nil
 }

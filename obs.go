@@ -20,3 +20,42 @@ type HistogramSnapshot = obs.HistogramSnapshot
 // the page/tier the event concerns. Runtime.Trace returns them in
 // recording order.
 type TraceEvent = obs.Event
+
+// Span is one epoch lifecycle interval recorded by the flight recorder:
+// a stage (commit, seal, drain-wait, promote, compact, restore) with
+// its [Start, End) on the runtime's time source and the tier it
+// concerns. Runtime.Spans returns them in recording order.
+type Span = obs.Span
+
+// SpanKind names a lifecycle stage of a Span.
+type SpanKind = obs.SpanKind
+
+// SpanKind values.
+const (
+	SpanCommit    = obs.SpanCommit
+	SpanSeal      = obs.SpanSeal
+	SpanDrainWait = obs.SpanDrainWait
+	SpanPromote   = obs.SpanPromote
+	SpanCompact   = obs.SpanCompact
+	SpanRestore   = obs.SpanRestore
+)
+
+// Scorecard is one epoch's selector prediction scorecard: predicted
+// flush order vs actual fault arrival order, summarized as the
+// flushed-before-faulted hit rate, the footrule rank correlation,
+// waited-queue pressure and per-region fault/COW heatmaps. Returned by
+// Runtime.Scorecards and embedded in EpochRecord.
+type Scorecard = obs.Scorecard
+
+// EpochRecord is one epoch of the flight recorder: its Scorecard plus
+// the lifecycle span tree and the critical-path breakdown (which stage
+// bounded the epoch's latency and by how much). Returned by
+// Runtime.Epochs and served by the debug server's /epochs endpoint.
+type EpochRecord = obs.EpochRecord
+
+// SpanNode is one node of an EpochRecord's span tree.
+type SpanNode = obs.SpanNode
+
+// CriticalStage is one entry of an EpochRecord's critical-path
+// breakdown.
+type CriticalStage = obs.CriticalStage

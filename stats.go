@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // WriteStatsCSV renders per-checkpoint statistics as CSV, one row per
@@ -44,6 +46,23 @@ type Summary struct {
 	AppBlocked  time.Duration
 	LongestCkpt time.Duration
 
+	// Selector prediction scorecard aggregates.
+
+	// HitRate is the run-wide flushed-before-faulted hit rate:
+	// AVOIDED / (WAIT + COW + AVOIDED) over every epoch.
+	HitRate float64
+	// CowAbsorbed counts the first writes absorbed by the copy-on-write
+	// buffer instead of blocking (the scorecard's "near miss" class;
+	// identical to Cows, named for the scorecard column).
+	CowAbsorbed int
+	// RankPairs counts the flushed-and-faulted page pairs entering the
+	// rank correlation; RankCorrelation is the per-epoch footrule rank
+	// correlation weighted by each epoch's pairs (1 = the selector
+	// flushed in exactly fault order, ~0 = random, negative =
+	// anti-correlated).
+	RankPairs       int
+	RankCorrelation float64
+
 	// Drain-side and restore-side totals, sourced from the runtime's
 	// metric snapshot (see SummarizeWithMetrics); zero when summarizing
 	// from per-epoch stats alone, which cannot see the background drain
@@ -61,6 +80,7 @@ type Summary struct {
 // runtime metric snapshot.
 func Summarize(stats []EpochStats) Summary {
 	var s Summary
+	var corrWeighted float64
 	for _, ep := range stats {
 		s.Checkpoints++
 		s.PagesCommitted += ep.PagesCommitted
@@ -73,6 +93,15 @@ func Summarize(stats []EpochStats) Summary {
 		if ep.Duration > s.LongestCkpt {
 			s.LongestCkpt = ep.Duration
 		}
+		if ep.RankPairs > 0 {
+			corrWeighted += ep.RankCorrelation() * float64(ep.RankPairs)
+			s.RankPairs += ep.RankPairs
+		}
+	}
+	s.CowAbsorbed = s.Cows
+	s.HitRate = obs.ScoreHitRate(s.Waits, s.Cows, s.Avoided)
+	if s.RankPairs > 0 {
+		s.RankCorrelation = corrWeighted / float64(s.RankPairs)
 	}
 	return s
 }
@@ -96,14 +125,16 @@ func SummarizeWithMetrics(stats []EpochStats, snap MetricsSnapshot) Summary {
 func WriteSummaryCSV(w io.Writer, s Summary) error {
 	if _, err := fmt.Fprintln(w,
 		"checkpoints,pages,bytes,waits,cows,avoided,after,app_blocked_us,longest_ckpt_us,"+
-			"epochs_drained,drain_retries,drain_failures,restore_epochs,restore_pages"); err != nil {
+			"epochs_drained,drain_retries,drain_failures,restore_epochs,restore_pages,"+
+			"hit_rate,cow_absorbed,rank_corr"); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+	_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%d,%.3f\n",
 		s.Checkpoints, s.PagesCommitted, s.BytesCommitted,
 		s.Waits, s.Cows, s.Avoided, s.After,
 		s.AppBlocked.Microseconds(), s.LongestCkpt.Microseconds(),
 		s.EpochsDrained, s.DrainRetries, s.DrainFailures,
-		s.RestoreEpochs, s.RestorePages)
+		s.RestoreEpochs, s.RestorePages,
+		s.HitRate, s.CowAbsorbed, s.RankCorrelation)
 	return err
 }

@@ -11,6 +11,8 @@ func sampleStats() []EpochStats {
 		{
 			Epoch: 1, PagesCommitted: 10, BytesCommitted: 40960,
 			Waits: 2, Cows: 3, Avoided: 4, After: 1,
+			// Perfectly predicted epoch: 9 rank pairs, zero displacement.
+			FaultArrivals: 10, RankPairs: 9, FootruleSum: 0,
 			WaitTime:            5 * time.Millisecond,
 			BlockedInCheckpoint: 1 * time.Millisecond,
 			Duration:            20 * time.Millisecond,
@@ -18,6 +20,9 @@ func sampleStats() []EpochStats {
 		{
 			Epoch: 2, PagesCommitted: 6, BytesCommitted: 24576,
 			Waits: 1, Cows: 0, Avoided: 7, After: 0,
+			// Anti-correlated epoch: scale = max(6,8) = 8, so
+			// corr = 1 - 3*28/(8*7) = -0.5.
+			FaultArrivals: 8, RankPairs: 8, FootruleSum: 28,
 			WaitTime:            2 * time.Millisecond,
 			BlockedInCheckpoint: 500 * time.Microsecond,
 			Duration:            35 * time.Millisecond,
@@ -45,6 +50,35 @@ func TestSummarize(t *testing.T) {
 	}
 	if s.EpochsDrained != 0 || s.RestorePages != 0 {
 		t.Fatalf("drain/restore fields must be zero without a snapshot: %+v", s)
+	}
+}
+
+func TestSummarizeScorecard(t *testing.T) {
+	approx := func(got, want float64) bool {
+		d := got - want
+		return d < 1e-9 && d > -1e-9
+	}
+	s := Summarize(sampleStats())
+	// Hit rate over the whole run: 11 avoided / (3 waits + 3 cows + 11 avoided).
+	if want := 11.0 / 17.0; !approx(s.HitRate, want) {
+		t.Fatalf("HitRate = %v, want %v", s.HitRate, want)
+	}
+	if s.CowAbsorbed != 3 {
+		t.Fatalf("CowAbsorbed = %d, want 3", s.CowAbsorbed)
+	}
+	if s.RankPairs != 17 {
+		t.Fatalf("RankPairs = %d, want 17", s.RankPairs)
+	}
+	// Pair-weighted blend of the per-epoch correlations:
+	// (1.0*9 + (-0.5)*8) / 17 = 5/17.
+	if want := 5.0 / 17.0; !approx(s.RankCorrelation, want) {
+		t.Fatalf("RankCorrelation = %v, want %v", s.RankCorrelation, want)
+	}
+
+	// No faults at all: every scorecard aggregate stays zero.
+	empty := Summarize([]EpochStats{{Epoch: 1, PagesCommitted: 4}})
+	if empty.HitRate != 0 || empty.RankCorrelation != 0 || empty.RankPairs != 0 {
+		t.Fatalf("scorecard of a fault-free run must be zero: %+v", empty)
 	}
 }
 
@@ -112,6 +146,21 @@ func TestWriteSummaryCSV(t *testing.T) {
 		"epochs_drained": "2",
 		"restore_pages":  "7",
 		"drain_retries":  "0",
+		"hit_rate":       "0.647",
+		"cow_absorbed":   "3",
+		"rank_corr":      "0.294",
+	}
+	for name := range want {
+		found := false
+		for _, h := range header {
+			if h == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("header is missing column %s: %q", name, lines[0])
+		}
 	}
 	for i, name := range header {
 		if w, ok := want[name]; ok && row[i] != w {
