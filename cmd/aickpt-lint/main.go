@@ -1,0 +1,20 @@
+// Command aickpt-lint runs the repository's static-analysis suite: the
+// stdlib-only analyzers in internal/lint that machine-enforce the hot-path,
+// locking, pooling and virtual-time invariants. It exits 0 when the tree is
+// clean, 1 when any diagnostic fires (CI fails on that), 2 on load errors.
+//
+//	aickpt-lint ./...                  # whole module
+//	aickpt-lint ./internal/core        # one package
+//	aickpt-lint -run hotpath ./...     # one analyzer
+//	aickpt-lint -json ./...            # machine-readable diagnostics
+package main
+
+import (
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

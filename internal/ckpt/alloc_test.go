@@ -9,13 +9,13 @@ import (
 	"repro/internal/util"
 )
 
-// TestWritePageDedupFastPathZeroAlloc gates the repository's steady-state
+// TestAllocGateWritePageDedupFastPath gates the repository's steady-state
 // dedup path at zero allocations: once the per-epoch bookkeeping (manifest
 // Refs, pending map) has been grown by earlier epochs and recycled, a page
 // write whose content matches the newest chain entry must not touch the
 // heap — it hashes inline, consults the index and appends a Ref into
 // pre-grown storage.
-func TestWritePageDedupFastPathZeroAlloc(t *testing.T) {
+func TestAllocGateWritePageDedupFastPath(t *testing.T) {
 	if util.RaceEnabled {
 		t.Skip("race mode bypasses sync.Pool; allocation gates do not apply")
 	}

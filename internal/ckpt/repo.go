@@ -144,6 +144,8 @@ type recordJob struct {
 
 // release returns the job's pooled buffer, if any, once the payload is no
 // longer referenced.
+//
+//aickpt:release payloadPool
 func (j *recordJob) release() {
 	if j.buf != nil {
 		*j.buf = j.payload[:0]
@@ -210,7 +212,7 @@ func (s *epochStage) submit(j recordJob, borrowed bool) error {
 	if borrowed {
 		// Copy the caller-owned payload into a pooled buffer; the writer
 		// goroutine releases it after the record lands in the segment.
-		buf := payloadPool.Get().(*[]byte)
+		buf := payloadPool.Get().(*[]byte) //aickpt:owns released by recordJob.release after the drain
 		j.payload = append((*buf)[:0], j.payload...)
 		j.buf = buf
 	}
@@ -401,26 +403,26 @@ type Repository struct {
 	recordTick atomic.Uint64
 
 	mu      sync.Mutex
-	w       *segmentWriter // nil until the epoch's first physical record
-	stage   *epochStage    // segment-writer stage; lifecycle follows w
-	curMan  Manifest
-	curOpen bool
+	w       *segmentWriter //aickpt:guardedby mu (nil until the epoch's first physical record)
+	stage   *epochStage    //aickpt:guardedby mu (segment-writer stage; lifecycle follows w)
+	curMan  Manifest       //aickpt:guardedby mu
+	curOpen bool           //aickpt:guardedby mu
 
-	index       map[int]pageIdx // newest sealed content per page
-	pending     map[int]pageIdx // current open epoch; merged into index at seal
-	indexLoaded bool
-	sizeChecked bool       // existing chain's page size validated against ours
-	stats       DedupStats // sealed epochs only
-	curStats    DedupStats // open epoch; folded into stats at seal, dropped on abort
+	index       map[int]pageIdx //aickpt:guardedby mu (newest sealed content per page)
+	pending     map[int]pageIdx //aickpt:guardedby mu (current open epoch; merged into index at seal)
+	indexLoaded bool            //aickpt:guardedby mu
+	sizeChecked bool            //aickpt:guardedby mu (existing chain's page size validated against ours)
+	stats       DedupStats      //aickpt:guardedby mu (sealed epochs only)
+	curStats    DedupStats      //aickpt:guardedby mu (open epoch; folded into stats at seal, dropped on abort)
 
 	// Per-epoch bookkeeping recycled across epochs: the manifest's slices
 	// and the pending map are dropped by value at each seal, but their
 	// backing storage is reclaimed here after the manifest is on disk, so
 	// steady-state epochs append and insert without growing the heap.
-	pagesScratch   []int
-	hashesScratch  []uint64
-	refsScratch    []PageRef
-	pendingScratch map[int]pageIdx
+	pagesScratch   []int           //aickpt:guardedby mu
+	hashesScratch  []uint64        //aickpt:guardedby mu
+	refsScratch    []PageRef       //aickpt:guardedby mu
+	pendingScratch map[int]pageIdx //aickpt:guardedby mu
 }
 
 // reclaimEpochScratchLocked takes the closed epoch's manifest slices and
@@ -587,6 +589,8 @@ func (r *Repository) checkChainPageSizeLocked() error {
 // on-disk format is byte-for-byte the serial one. data is only read before
 // WritePage returns — callers may reuse or mutate the buffer afterwards.
 // Interleaving pages of two different epochs remains an error.
+//
+//aickpt:hotpath
 func (r *Repository) WritePage(epoch uint64, page int, data []byte, size int) error {
 	if data == nil {
 		return fmt.Errorf("ckpt: nil page data for page %d (phantom writes not storable)", page)
@@ -688,7 +692,7 @@ func (r *Repository) WritePage(epoch uint64, page int, data []byte, size int) er
 	job := recordJob{page: page, payload: data, rawHash: rawHash}
 	borrowed := true
 	if codec != compress.None {
-		buf := payloadPool.Get().(*[]byte)
+		buf := payloadPool.Get().(*[]byte) //aickpt:owns handed to the staged job; recordJob.release returns it
 		job.payload = compress.EncodeInto(codec, data, *buf)
 		job.buf = buf
 		borrowed = false

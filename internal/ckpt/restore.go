@@ -105,13 +105,14 @@ func readSegment(fs FS, m Manifest, visit func(page int, data []byte)) error {
 		page := int(binary.LittleEndian.Uint32(hdr[4:]))
 		size := int(binary.LittleEndian.Uint32(hdr[8:]))
 		want := binary.LittleEndian.Uint64(hdr[12:])
-		// Compressed payloads may exceed the page size by the one-byte
-		// codec header (the verbatim-fallback encoding).
-		maxSize := m.PageSize
-		if m.Codec != 0 {
-			maxSize = m.PageSize + 1
+		// Without a codec a record payload is exactly one page; compressed
+		// payloads vary but may exceed the page size only by the one-byte
+		// codec header (the verbatim-fallback encoding). The codec decoder
+		// enforces its exact output size below.
+		if m.Codec == 0 && size != m.PageSize {
+			return fmt.Errorf("ckpt: epoch %d page %d: record size %d != page size %d", m.Epoch, page, size, m.PageSize)
 		}
-		if size < 0 || size > maxSize {
+		if size < 0 || size > m.PageSize+1 {
 			return fmt.Errorf("ckpt: epoch %d page %d: invalid size %d", m.Epoch, page, size)
 		}
 		var data []byte

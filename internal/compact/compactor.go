@@ -38,11 +38,11 @@ type Compactor struct {
 	mu      sync.Locker
 	wake    sim.Cond
 	done    sim.Cond
-	kicked  bool
-	closing bool
-	exited  bool
-	running bool
-	stats   Stats
+	kicked  bool  //aickpt:guardedby mu
+	closing bool  //aickpt:guardedby mu
+	exited  bool  //aickpt:guardedby mu
+	running bool  //aickpt:guardedby mu
+	stats   Stats //aickpt:guardedby mu
 }
 
 // NewCompactor starts the background compaction process. Close it before a

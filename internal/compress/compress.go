@@ -88,6 +88,8 @@ func Encode(codec Codec, page []byte) []byte {
 // DEFLATE's worst case — and is freshly grown otherwise, so a pooled buffer
 // of cap >= len(page)+64 makes steady-state encoding allocation-free. The
 // caller owns both dst and the result.
+//
+//aickpt:hotpath
 func EncodeInto(codec Codec, page []byte, dst []byte) []byte {
 	dst = dst[:0]
 	switch codec {
@@ -134,6 +136,8 @@ func Decode(blob []byte, pageSize int) ([]byte, error) {
 // ignored). The returned slice aliases dst when cap(dst) >= pageSize and is
 // freshly allocated otherwise; with a recycled buffer the steady-state
 // decode path allocates nothing. The caller owns both dst and the result.
+//
+//aickpt:hotpath
 func DecodeInto(blob []byte, dst []byte, pageSize int) ([]byte, error) {
 	if len(blob) == 0 {
 		return nil, fmt.Errorf("compress: empty blob")

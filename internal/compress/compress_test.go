@@ -140,7 +140,7 @@ func TestDecodeRejectsTruncatedFlate(t *testing.T) {
 // pools and caller-supplied buffers, zero and incompressible pages must
 // encode and decode without allocating. (Compressible flate decode output
 // is also covered: the pooled reader state dominates there.)
-func TestEncodeDecodeZeroAlloc(t *testing.T) {
+func TestAllocGateEncodeDecode(t *testing.T) {
 	if util.RaceEnabled {
 		t.Skip("race mode bypasses sync.Pool; allocation gates do not apply")
 	}

@@ -70,11 +70,11 @@ func (g *gateStore) WritePage(epoch uint64, page int, data []byte, size int) err
 
 func (g *gateStore) EndEpoch(epoch uint64) error { return nil }
 
-// TestCowFaultPathAllocatesOnlyOnPoolWarmup drives two epochs of COW
+// TestAllocGateCowFaultPath drives two epochs of COW
 // faults with the committer frozen mid-flush: the first epoch's faults may
 // allocate page copies (the pool is cold), but once those copies are
 // recycled the second epoch's COW faults must not touch the heap at all.
-func TestCowFaultPathAllocatesOnlyOnPoolWarmup(t *testing.T) {
+func TestAllocGateCowFaultPath(t *testing.T) {
 	if util.RaceEnabled {
 		t.Skip("race instrumentation skews exact allocation accounting")
 	}

@@ -37,16 +37,16 @@ type Manager struct {
 	ckptDone      sim.Cond // Checkpoint/WaitIdle/worker barrier <- epoch seal
 	exitDone      sim.Cond // Close <- committer exit
 
-	epoch      uint64
-	inProgress bool
-	closed     bool
-	exited     bool
-	firstErr   error
+	epoch      uint64 //aickpt:guardedby mu
+	inProgress bool   //aickpt:guardedby mu
+	closed     bool   //aickpt:guardedby mu
+	exited     bool   //aickpt:guardedby mu
+	firstErr   error  //aickpt:guardedby mu
 
-	workers       int  // committer workers spawned (0 for Sync)
-	exitedWorkers int  // workers that have returned
-	inflight      int  // pages pulled by a worker but not yet Processed
-	sealing       bool // a worker is inside EndEpoch for the current epoch
+	workers       int  //aickpt:guardedby mu (committer workers spawned, 0 for Sync)
+	exitedWorkers int  //aickpt:guardedby mu (workers that have returned)
+	inflight      int  //aickpt:guardedby mu (pages pulled by a worker but not yet Processed)
+	sealing       bool //aickpt:guardedby mu (a worker is inside EndEpoch for the current epoch)
 
 	// Per-page metadata, indexed by global page ID (§3.3 data structures).
 	npages    int
@@ -70,12 +70,12 @@ type Manager struct {
 	flushSeq  int32
 	heatShift uint
 
-	cow          map[int][]byte // page -> pre-write copy (nil value: phantom)
-	cowUsed      int
-	cowPool      [][]byte  // recycled COW page copies (bounded by CowSlots)
-	waited       pageQueue // pages the application is blocked on (WaitedPage)
-	liveCowQueue []int     // pages that took a COW slot this epoch
-	liveCowHead  int       // consumed prefix of liveCowQueue
+	cow          map[int][]byte //aickpt:guardedby mu (page -> pre-write copy; nil value: phantom)
+	cowUsed      int            //aickpt:guardedby mu
+	cowPool      [][]byte       //aickpt:guardedby mu (recycled COW page copies, bounded by CowSlots)
+	waited       pageQueue      //aickpt:guardedby mu (pages the application is blocked on, WaitedPage)
+	liveCowQueue []int          //aickpt:guardedby mu (pages that took a COW slot this epoch)
+	liveCowHead  int            //aickpt:guardedby mu (consumed prefix of liveCowQueue)
 
 	// The selectors are embedded and rebuilt in place each epoch, so the
 	// steady-state epoch setup allocates nothing. The adaptive selector is
@@ -84,8 +84,8 @@ type Manager struct {
 	sel         selector
 	adaptive    adaptiveSelector
 	ascend      ascendingSelector
-	selReady    bool         // current epoch's selector is built
-	selBuilding bool         // a worker is building it with m.mu released
+	selReady    bool         //aickpt:guardedby mu (current epoch's selector is built)
+	selBuilding bool         //aickpt:guardedby mu (a worker is building it with m.mu released)
 	selDirty    *util.Bitset // builder's dirty-set snapshot (reused scratch)
 
 	cur     EpochStats
@@ -128,9 +128,12 @@ func NewManager(cfg Config) *Manager {
 	m.exitDone = m.env.NewCond(m.mu)
 	m.space.SetFaultHandler(m.handleFault)
 	if cfg.Strategy == Sync {
-		m.exited = true // no committer processes
+		// Pre-publication: m is not shared until NewManager returns, so
+		// these init writes need no lock.
+		m.exited = true //aickpt:allow guardedby pre-publication init
 	} else {
-		m.workers = cfg.CommitWorkers
+		m.workers = cfg.CommitWorkers //aickpt:allow guardedby pre-publication init
+		//aickpt:allow guardedby pre-publication init
 		for w := 0; w < m.workers; w++ {
 			w := w
 			m.env.Go(fmt.Sprintf("%s-committer-%d", cfg.Name, w), func() { m.committer(w) })
@@ -353,8 +356,8 @@ func footrule(a, b int32) int64 {
 	return d
 }
 
-// heatBucket maps a page id into the per-epoch heatmaps.
-func (m *Manager) heatBucket(page int) int {
+// heatBucketLocked maps a page id into the per-epoch heatmaps.
+func (m *Manager) heatBucketLocked(page int) int {
 	b := page >> m.heatShift
 	if b >= obs.HeatBuckets {
 		b = obs.HeatBuckets - 1
@@ -467,7 +470,7 @@ func (m *Manager) flushEpochLocked(worker int) {
 		m.committerKick.Broadcast()
 	}
 	for m.inProgress && m.epoch == epoch {
-		p := m.sel.next(m, m.lastDirty)
+		p := m.sel.nextLocked(m, m.lastDirty)
 		if p < 0 {
 			break
 		}
@@ -565,6 +568,8 @@ func (m *Manager) flushEpochLocked(worker int) {
 
 // handleFault is the PROTECTED_PAGE_HANDLER module (Algorithm 2), invoked
 // by the pagemem substrate on the first write to a protected page.
+//
+//aickpt:hotpath
 func (m *Manager) handleFault(page int) {
 	cost := m.cfg.FaultCost
 	var fstart time.Duration
@@ -655,7 +660,7 @@ func (m *Manager) handleFault(page int) {
 		m.cur.FootruleSum += footrule(fr, m.accessOrder)
 		m.cur.RankPairs++
 	}
-	hb := m.heatBucket(page)
+	hb := m.heatBucketLocked(page)
 	m.cur.FaultHeat[hb]++
 	if m.at[page] == Cow {
 		m.cur.CowHeat[hb]++

@@ -23,10 +23,10 @@ import (
 // fields. Workers arriving while the build is in progress block until it
 // completes, so no page is pulled from a half-built order.
 type selector interface {
-	// next returns the next page to commit, or -1 when the remaining set
+	// nextLocked returns the next page to commit, or -1 when the remaining set
 	// is empty. remaining is the live LastDirty set: pages already pulled
 	// by a worker or committed through other paths must be skipped.
-	next(m *Manager, remaining *util.Bitset) int
+	nextLocked(m *Manager, remaining *util.Bitset) int
 }
 
 // ascendingSelector flushes in ascending page order — the
@@ -41,7 +41,7 @@ type ascendingSelector struct {
 	cursor int
 }
 
-func (s *ascendingSelector) next(m *Manager, remaining *util.Bitset) int {
+func (s *ascendingSelector) nextLocked(m *Manager, remaining *util.Bitset) int {
 	for !m.cfg.NoWaitedHint {
 		p, ok := m.waited.front()
 		if !ok {
@@ -182,7 +182,7 @@ func (s *adaptiveSelector) build(dirty *util.Bitset, lastAT []AccessType, lastIn
 	}
 }
 
-func (s *adaptiveSelector) next(m *Manager, remaining *util.Bitset) int {
+func (s *adaptiveSelector) nextLocked(m *Manager, remaining *util.Bitset) int {
 	// Priority 1: a page the application is blocked on right now.
 	for !m.cfg.NoWaitedHint {
 		p, ok := m.waited.front()

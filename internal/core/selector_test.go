@@ -13,7 +13,7 @@ func drain(t *testing.T, s selector, m *Manager, remaining *util.Bitset) []int {
 	t.Helper()
 	var out []int
 	for {
-		p := s.next(m, remaining)
+		p := s.nextLocked(m, remaining)
 		if p < 0 {
 			return out
 		}
@@ -171,10 +171,10 @@ func TestBucketedBuildMatchesSortedReference(t *testing.T) {
 	}
 }
 
-// TestSelectorBuildReuseSteadyStateAllocs: rebuilding the manager's
+// TestAllocGateSelectorBuildReuse: rebuilding the manager's
 // embedded selector for a stable working set must not allocate once its
 // scratch has grown to size.
-func TestSelectorBuildReuseSteadyStateAllocs(t *testing.T) {
+func TestAllocGateSelectorBuildReuse(t *testing.T) {
 	const n = 1024
 	lastAT := make([]AccessType, n)
 	lastIndex := make([]int32, n)
@@ -216,7 +216,7 @@ func TestAdaptiveSelectorQuick(t *testing.T) {
 		remaining := dirty.Clone()
 		var out []int
 		for {
-			p := sel.next(m, remaining)
+			p := sel.nextLocked(m, remaining)
 			if p < 0 {
 				break
 			}

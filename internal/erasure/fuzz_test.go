@@ -1,0 +1,71 @@
+package erasure
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReconstruct is the k-of-n property: encode fuzz-derived data with
+// fuzz-derived (k, m), drop up to m shards chosen by a bitmask, and the
+// decode must reproduce the data exactly.
+func FuzzReconstruct(f *testing.F) {
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"), uint8(4), uint8(2), uint16(0b10010))
+	f.Add([]byte{}, uint8(1), uint8(1), uint16(1))
+	f.Add(bytes.Repeat([]byte{0xff}, 100), uint8(8), uint8(3), uint16(0b111))
+	f.Fuzz(func(t *testing.T, data []byte, kRaw, mRaw uint8, dropMask uint16) {
+		k := int(kRaw)%12 + 1 // 1..12
+		m := int(mRaw) % 5    // 0..4
+		c := New(k, m)
+		shards := c.Encode(data)
+		if len(shards) != k+m {
+			t.Fatalf("Encode returned %d shards, want %d", len(shards), k+m)
+		}
+		dropped := 0
+		for i := 0; i < k+m && dropped < m; i++ {
+			if dropMask&(1<<i) != 0 {
+				shards[i] = nil
+				dropped++
+			}
+		}
+		got, err := c.Decode(shards, len(data))
+		if err != nil {
+			t.Fatalf("Decode(k=%d m=%d dropped=%d): %v", k, m, dropped, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("k=%d m=%d dropped=%d: reconstruction mismatch", k, m, dropped)
+		}
+	})
+}
+
+// FuzzDecodeArbitrary throws arbitrary (possibly inconsistent) shard slices
+// at Decode: it must return data or an error, never panic — lost-shard
+// bookkeeping in the peer tier depends on that.
+func FuzzDecodeArbitrary(f *testing.F) {
+	f.Add([]byte("shardbytes"), uint8(3), uint8(2), 10, uint16(0))
+	f.Add([]byte{}, uint8(1), uint8(0), 0, uint16(0xffff))
+	f.Add([]byte("x"), uint8(2), uint8(2), 1<<20, uint16(0b1010))
+	f.Fuzz(func(t *testing.T, blob []byte, kRaw, mRaw uint8, size int, nilMask uint16) {
+		k := int(kRaw)%12 + 1
+		m := int(mRaw) % 5
+		c := New(k, m)
+		n := k + m
+		shardLen := len(blob) / n
+		shards := make([][]byte, n)
+		for i := range shards {
+			if nilMask&(1<<i) != 0 {
+				continue // lost shard
+			}
+			shards[i] = blob[i*shardLen : (i+1)*shardLen]
+		}
+		data, err := c.Decode(shards, size)
+		if err == nil && len(data) != size {
+			t.Fatalf("Decode returned %d bytes for size %d without error", len(data), size)
+		}
+		// Mismatched shard counts must also error, not panic.
+		if n > 1 {
+			if _, err := c.Decode(shards[:n-1], size); err == nil {
+				t.Fatalf("Decode accepted %d shards for a %d-shard coder", n-1, n)
+			}
+		}
+	})
+}

@@ -99,8 +99,8 @@ func (c *Coder) Decode(shards [][]byte, size int) ([]byte, error) {
 	if present < c.k {
 		return nil, fmt.Errorf("erasure: only %d shards survive, need %d", present, c.k)
 	}
-	if size > c.k*shardLen {
-		return nil, fmt.Errorf("erasure: size %d exceeds capacity %d", size, c.k*shardLen)
+	if size < 0 || size > c.k*shardLen {
+		return nil, fmt.Errorf("erasure: size %d outside capacity [0, %d]", size, c.k*shardLen)
 	}
 
 	// Fast path: all data shards present.

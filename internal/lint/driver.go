@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Exit codes of the driver: clean, diagnostics found, usage/load failure.
+const (
+	ExitClean = 0
+	ExitDiags = 1
+	ExitError = 2
+)
+
+// Main is the aickpt-lint entry point, factored out of cmd/aickpt-lint so
+// the driver's flag handling, JSON shape and exit codes are unit-testable.
+func Main(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("aickpt-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	run := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list registered analyzers and exit")
+	dir := fs.String("C", ".", "directory whose module to analyze")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: aickpt-lint [flags] [packages]\n\n"+
+			"Packages are module-root-relative patterns: ./... (default), ./internal/core,\n"+
+			"./internal/..., or full import paths.\n\nFlags:\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(stderr, "\nAnalyzers:\n")
+		for _, a := range All {
+			fmt.Fprintf(stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return ExitError
+	}
+	if *list {
+		for _, a := range All {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return ExitClean
+	}
+
+	analyzers := All
+	if *run != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*run, ",") {
+			name = strings.TrimSpace(name)
+			a := Lookup(name)
+			if a == nil {
+				fmt.Fprintf(stderr, "aickpt-lint: unknown analyzer %q\n", name)
+				return ExitError
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := NewLoader(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "aickpt-lint: %v\n", err)
+		return ExitError
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "aickpt-lint: %v\n", err)
+		return ExitError
+	}
+
+	diags := Run(pkgs, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "aickpt-lint: %v\n", err)
+			return ExitError
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "aickpt-lint: %d diagnostic(s) in %d package(s)\n", len(diags), len(pkgs))
+		}
+		return ExitDiags
+	}
+	return ExitClean
+}

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestDriverJSONShape runs the driver over the dirty testdata module and
+// pins the wire format: exit code 1, a JSON array of diagnostics whose
+// fields are all populated, sorted by position.
+func TestDriverJSONShape(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := Main([]string{"-json", "-C", testdataMod, "./..."}, &stdout, &stderr)
+	if code != ExitDiags {
+		t.Fatalf("exit = %d, want %d (stderr: %s)", code, ExitDiags, stderr.String())
+	}
+	var diags []Diagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not a JSON diagnostic array: %v\n%s", err, stdout.String())
+	}
+	if len(diags) == 0 {
+		t.Fatalf("no diagnostics over the dirty testdata module")
+	}
+	seen := map[string]bool{}
+	for _, d := range diags {
+		if d.Analyzer == "" || d.Package == "" || d.File == "" || d.Line <= 0 || d.Col <= 0 || d.Message == "" {
+			t.Errorf("diagnostic with unpopulated fields: %+v", d)
+		}
+		seen[d.Analyzer] = true
+	}
+	for _, a := range All {
+		if !seen[a.Name] {
+			t.Errorf("analyzer %s produced no diagnostic over its testdata", a.Name)
+		}
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Errorf("diagnostics not sorted: %s:%d before %s:%d", a.File, a.Line, b.File, b.Line)
+		}
+	}
+}
+
+// TestDriverRunFilter pins -run: only the named analyzer fires.
+func TestDriverRunFilter(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := Main([]string{"-json", "-run", "walltime", "-C", testdataMod, "./..."}, &stdout, &stderr)
+	if code != ExitDiags {
+		t.Fatalf("exit = %d, want %d (stderr: %s)", code, ExitDiags, stderr.String())
+	}
+	var diags []Diagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "walltime" {
+			t.Errorf("-run walltime produced a %s diagnostic", d.Analyzer)
+		}
+	}
+	if len(diags) == 0 {
+		t.Fatalf("-run walltime produced no diagnostics")
+	}
+}
+
+// TestDriverCleanPackage pins exit 0 and an empty (not null) JSON array on
+// a clean package.
+func TestDriverCleanPackage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := Main([]string{"-json", "-C", "../..", "./internal/util"}, &stdout, &stderr)
+	if code != ExitClean {
+		t.Fatalf("exit = %d, want %d (stderr: %s)", code, ExitClean, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Fatalf("clean run printed %q, want []", got)
+	}
+}
+
+// TestDriverErrors pins exit 2 on usage errors.
+func TestDriverErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := Main([]string{"-run", "nope", "./..."}, &stdout, &stderr); code != ExitError {
+		t.Fatalf("unknown analyzer: exit = %d, want %d", code, ExitError)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Fatalf("unknown analyzer not reported: %s", stderr.String())
+	}
+	stderr.Reset()
+	if code := Main([]string{"-C", testdataMod, "./internal/missing"}, &stdout, &stderr); code != ExitError {
+		t.Fatalf("missing package: exit = %d, want %d", code, ExitError)
+	}
+}
+
+// TestDriverList pins -list.
+func TestDriverList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := Main([]string{"-list"}, &stdout, &stderr); code != ExitClean {
+		t.Fatalf("-list exit = %d, want %d", code, ExitClean)
+	}
+	for _, a := range All {
+		if !strings.Contains(stdout.String(), a.Name) {
+			t.Errorf("-list output misses %s", a.Name)
+		}
+	}
+}

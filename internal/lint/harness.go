@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// This file is the testdata harness: a hand-rolled equivalent of
+// golang.org/x/tools' analysistest, kept stdlib-only like the rest of the
+// suite. Testdata packages live in a mini-module under testdata/mod (its own
+// go.mod keeps the real module's ./... from picking them up), and each line
+// that should trigger a diagnostic carries a trailing
+//
+//	// want "regexp"
+//
+// comment (several quoted regexps on one comment for several diagnostics on
+// that line). CheckTestdata loads a package of that module, runs one
+// analyzer, and fails on any unmatched diagnostic or unfulfilled want.
+
+// expectation is one parsed want pattern.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// wantStringRE captures the quoted patterns of a want comment; both
+// double-quoted and backquoted Go string forms are accepted.
+var wantStringRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// collectWants parses the `// want` comments of the loaded files.
+func collectWants(pkgs []*Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(commentText(c))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					quoted := wantStringRE.FindAllString(text, -1)
+					if len(quoted) == 0 {
+						return nil, fmt.Errorf("%s:%d: want comment without a quoted pattern", pos.Filename, pos.Line)
+					}
+					for _, q := range quoted {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// TB is the subset of *testing.T the harness needs (keeps this file free of
+// a testing import, so the package builds identically in and out of tests).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// CheckTestdata loads pattern (module-root-relative, e.g.
+// "./internal/guardedby") from the testdata module rooted at dir, runs one
+// analyzer, and asserts the diagnostics are exactly the ones the `// want`
+// comments announce.
+func CheckTestdata(t TB, a *Analyzer, dir, pattern string) {
+	t.Helper()
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkgs, err := loader.Load(pattern)
+	if err != nil {
+		t.Fatalf("load %s: %v", pattern, err)
+	}
+	wants, err := collectWants(pkgs)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	diags := Run(pkgs, []*Analyzer{a})
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == d.File && w.line == d.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: want %q: no diagnostic matched", w.file, w.line, w.re)
+		}
+	}
+}

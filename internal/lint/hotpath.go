@@ -1,0 +1,276 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Hotpath is the static complement of the AllocsPerRun gates: functions
+// annotated //aickpt:hotpath (the per-page commit, fault, selector and
+// trace functions) must not contain allocating constructs. The dynamic
+// gates only see the paths the tests drive; this check sees every branch.
+//
+// Flagged inside an annotated function:
+//
+//   - fmt.* calls — except as the immediate operand of a return or panic:
+//     a `return fmt.Errorf(...)` failure exit runs at most once and ends
+//     the hot loop, so it cannot add per-page allocation pressure, while a
+//     fmt.Sprintf feeding normal flow allocates on every iteration;
+//   - string ↔ []byte/[]rune conversions (they copy);
+//   - defer statements;
+//   - function literals (closure captures allocate);
+//   - composite literals boxed into interface-typed parameters or
+//     variables;
+//   - append calls that are not a reuse idiom: allowed only as
+//     x = append(x, ...) / x = append(x[:0], ...) (growing a retained,
+//     pooled container, amortized to zero) or appending onto a
+//     caller-supplied parameter (the Into-style APIs, where the caller
+//     owns a pooled buffer).
+//
+// Genuinely cold exceptions inside a hot function (a once-per-epoch
+// closure, a pool warm-up) are annotated //aickpt:allow hotpath (reason).
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "//aickpt:hotpath functions must not contain allocating constructs",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasFuncDirective(fd, "hotpath") {
+				continue
+			}
+			h := &hotpathCheck{pass: pass, params: paramObjects(pass, fd), allowedAppends: map[*ast.CallExpr]bool{}}
+			h.collectReuseAppends(fd.Body)
+			h.walk(fd.Body, false)
+		}
+	}
+}
+
+type hotpathCheck struct {
+	pass           *Pass
+	params         map[types.Object]bool
+	allowedAppends map[*ast.CallExpr]bool
+}
+
+// paramObjects collects the objects of fd's parameters and receiver:
+// appending onto them targets caller-owned (pooled) backing storage.
+func paramObjects(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	objs := map[types.Object]bool{}
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					objs[obj] = true
+				}
+			}
+		}
+	}
+	add(fd.Recv)
+	add(fd.Type.Params)
+	return objs
+}
+
+// collectReuseAppends marks append calls in the x = append(x, ...) /
+// x = append(x[:0], ...) form: the assignment back into the same expression
+// is the pooled-container growth idiom the zero-allocation paths rely on.
+func (h *hotpathCheck) collectReuseAppends(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltin(h.pass, call, "append") || len(call.Args) == 0 {
+				continue
+			}
+			if types.ExprString(as.Lhs[i]) == types.ExprString(appendBase(call.Args[0])) {
+				h.allowedAppends[call] = true
+			}
+		}
+		return true
+	})
+}
+
+// appendBase unwraps a reslice so append(x[:0], ...) compares as x.
+func appendBase(e ast.Expr) ast.Expr {
+	if s, ok := e.(*ast.SliceExpr); ok {
+		return s.X
+	}
+	return e
+}
+
+func isBuiltin(pass *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// walk visits the hot function's body. terminating is true under a return
+// statement or panic argument, where a fmt call is a cold failure exit.
+func (h *hotpathCheck) walk(n ast.Node, terminating bool) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.DeferStmt:
+		h.pass.Reportf(n.Pos(), "defer on a //aickpt:hotpath function")
+		return
+	case *ast.FuncLit:
+		h.pass.Reportf(n.Pos(), "closure literal on a //aickpt:hotpath function (captures allocate)")
+		return // the literal's body is the closure's problem, not this path's
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			h.walk(r, true)
+		}
+		return
+	case *ast.CallExpr:
+		h.checkCall(n, terminating)
+		// panic's argument is a terminating context like a return's operand.
+		term := terminating || isBuiltin(h.pass, n, "panic")
+		h.walk(n.Fun, terminating)
+		for _, a := range n.Args {
+			h.walk(a, term)
+		}
+		return
+	case *ast.AssignStmt:
+		h.checkBoxingAssign(n)
+	case *ast.BlockStmt:
+		for _, s := range n.List {
+			h.walk(s, terminating)
+		}
+		return
+	}
+	// Generic structural descent for everything else.
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == n || c == nil {
+			return c == n
+		}
+		h.walk(c, terminating)
+		return false
+	})
+}
+
+func (h *hotpathCheck) checkCall(call *ast.CallExpr, terminating bool) {
+	// fmt.* off the terminating path.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if fn, ok := h.pass.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			if !terminating {
+				h.pass.Reportf(call.Pos(), "fmt.%s on a //aickpt:hotpath function (allocates; only return/panic operands are exempt)", fn.Name())
+			}
+			return
+		}
+	}
+	// string ↔ []byte/[]rune conversion.
+	if tv, ok := h.pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type
+		if argTV, ok := h.pass.Info.Types[call.Args[0]]; ok {
+			from := argTV.Type
+			if (isString(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isString(from)) {
+				h.pass.Reportf(call.Pos(), "%s ↔ %s conversion on a //aickpt:hotpath function copies its operand", from, to)
+			}
+		}
+		return
+	}
+	// append outside the reuse idiom.
+	if isBuiltin(h.pass, call, "append") && len(call.Args) > 0 && !h.allowedAppends[call] {
+		if obj := h.baseObject(appendBase(call.Args[0])); obj == nil || !h.params[obj] {
+			h.pass.Reportf(call.Pos(), "append onto a non-reused slice on a //aickpt:hotpath function (use x = append(x, ...) on a retained container or append into a caller-supplied buffer)")
+		}
+		return
+	}
+	// Composite literals boxed into interface-typed parameters.
+	if sig := callSignature(h.pass, call); sig != nil {
+		for i, arg := range call.Args {
+			if !isCompositeLit(arg) {
+				continue
+			}
+			if pt := paramTypeAt(sig, i); pt != nil && types.IsInterface(pt.Underlying()) {
+				h.pass.Reportf(arg.Pos(), "composite literal escapes into interface parameter on a //aickpt:hotpath function (boxing allocates)")
+			}
+		}
+	}
+}
+
+// checkBoxingAssign flags composite literals assigned to interface-typed
+// destinations.
+func (h *hotpathCheck) checkBoxingAssign(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if !isCompositeLit(rhs) {
+			continue
+		}
+		if tv, ok := h.pass.Info.Types[as.Lhs[i]]; ok && tv.Type != nil && types.IsInterface(tv.Type.Underlying()) {
+			h.pass.Reportf(rhs.Pos(), "composite literal escapes into interface variable on a //aickpt:hotpath function (boxing allocates)")
+		}
+	}
+}
+
+func (h *hotpathCheck) baseObject(e ast.Expr) types.Object {
+	if id, ok := e.(*ast.Ident); ok {
+		return h.pass.Info.Uses[id]
+	}
+	return nil
+}
+
+func isCompositeLit(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, ok := e.X.(*ast.CompositeLit)
+		return ok
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func callSignature(pass *Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || tv.IsType() || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+func paramTypeAt(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		if s, ok := sig.Params().At(n - 1).Type().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i < n {
+		return sig.Params().At(i).Type()
+	}
+	return nil
+}

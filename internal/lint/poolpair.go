@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Poolpair codifies the pooling ownership invariants of the zero-allocation
+// commit path: every value taken from a sync.Pool (x.Get(), or a call to a
+// function annotated //aickpt:acquire <pool>) must be returned to it before
+// the function exits — a Put (or //aickpt:release <pool> call) preceding
+// every return, or a deferred release — unless the acquire site is
+// annotated //aickpt:owns, declaring that ownership is handed off (staged
+// into a queue, stored in a struct released elsewhere).
+//
+// The analysis is per-function and source-order-based: at every return it
+// compares acquires and releases of the same pool seen earlier in the body.
+// That resolves the common shapes exactly — defer, early-error returns with
+// a Put on each branch, loop-local Get/Put — and over-approximates branchy
+// flows, for which //aickpt:owns or //aickpt:allow poolpair states the
+// ownership argument explicitly (which is the point: a reader should find
+// it stated).
+var Poolpair = &Analyzer{
+	Name: "poolpair",
+	Doc:  "sync.Pool Get (and //aickpt:acquire) needs a release on every return path or an //aickpt:owns handoff",
+	Run:  runPoolpair,
+}
+
+type poolEvent struct {
+	pool    string
+	pos     token.Pos
+	acquire bool
+	owns    bool
+}
+
+func runPoolpair(pass *Pass) {
+	annotated := collectAnnotatedFuncs(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolBalance(pass, fd, annotated)
+		}
+	}
+}
+
+// collectAnnotatedFuncs maps package functions carrying //aickpt:acquire or
+// //aickpt:release doc directives to their pool names, so calls to them
+// count as pool events at the call site.
+func collectAnnotatedFuncs(pass *Pass) map[types.Object]directive {
+	out := map[types.Object]directive{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			for _, d := range funcDirectives(fd) {
+				if (d.verb == "acquire" || d.verb == "release") && len(d.args) > 0 {
+					if obj := pass.Info.Defs[fd.Name]; obj != nil {
+						out[obj] = d
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func checkPoolBalance(pass *Pass, fd *ast.FuncDecl, annotated map[types.Object]directive) {
+	var events []poolEvent
+	deferred := map[string]bool{}
+	var returns []token.Pos
+
+	classify := func(call *ast.CallExpr) (poolEvent, bool) {
+		// sync.Pool method calls: the pool's identity is the receiver
+		// expression's source form.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && (sel.Sel.Name == "Get" || sel.Sel.Name == "Put") {
+			if tv, ok := pass.Info.Types[sel.X]; ok && isSyncPool(tv.Type) {
+				return poolEvent{pool: types.ExprString(sel.X), pos: call.Pos(), acquire: sel.Sel.Name == "Get"}, true
+			}
+		}
+		// Calls to functions annotated //aickpt:acquire / //aickpt:release.
+		var callee types.Object
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			callee = pass.Info.Uses[fun]
+		case *ast.SelectorExpr:
+			callee = selectedObject(pass, fun)
+		}
+		if d, ok := annotated[callee]; ok {
+			return poolEvent{pool: d.args[0], pos: call.Pos(), acquire: d.verb == "acquire"}, true
+		}
+		// Site-level //aickpt:acquire / //aickpt:release annotations.
+		p := pass.Fset.Position(call.Pos())
+		for _, verb := range [2]string{"acquire", "release"} {
+			for _, d := range pass.dirs.at(p.Filename, p.Line, verb) {
+				if len(d.args) > 0 {
+					return poolEvent{pool: d.args[0], pos: call.Pos(), acquire: verb == "acquire"}, true
+				}
+			}
+		}
+		return poolEvent{}, false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if ev, ok := classify(n.Call); ok && !ev.acquire {
+				deferred[ev.pool] = true
+			}
+			return true
+		case *ast.ReturnStmt:
+			returns = append(returns, n.End())
+			return true
+		case *ast.CallExpr:
+			if ev, ok := classify(n); ok {
+				if ev.acquire {
+					p := pass.Fset.Position(ev.pos)
+					ev.owns = len(pass.dirs.at(p.Filename, p.Line, "owns")) > 0
+				}
+				events = append(events, ev)
+			}
+			return true
+		}
+		return true
+	})
+	if len(events) == 0 {
+		return
+	}
+	// The fall-off-the-end exit is a return path too.
+	returns = append(returns, fd.Body.End())
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	reported := map[token.Pos]bool{}
+	for _, ret := range returns {
+		balance := map[string]int{}          // pool -> unreleased acquires before ret
+		firstLeak := map[string]*poolEvent{} // pool -> earliest candidate site
+		for i := range events {
+			ev := &events[i]
+			if ev.pos >= ret || ev.owns || deferred[ev.pool] {
+				continue
+			}
+			if ev.acquire {
+				balance[ev.pool]++
+				if firstLeak[ev.pool] == nil {
+					firstLeak[ev.pool] = ev
+				}
+			} else {
+				balance[ev.pool]--
+			}
+		}
+		for pool, n := range balance {
+			if n <= 0 {
+				continue
+			}
+			ev := firstLeak[pool]
+			if reported[ev.pos] {
+				continue
+			}
+			reported[ev.pos] = true
+			retPos := pass.Fset.Position(ret)
+			pass.Reportf(ev.pos,
+				"%s acquire is not released on the return path ending at line %d (add a Put/release, defer it, or annotate the handoff //aickpt:owns)",
+				pool, retPos.Line)
+		}
+	}
+}
+
+// isSyncPool reports whether t is sync.Pool or *sync.Pool.
+func isSyncPool(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
+}

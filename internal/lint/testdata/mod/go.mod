@@ -1,0 +1,3 @@
+module lintmod
+
+go 1.24

@@ -1,0 +1,106 @@
+// Package hotpathtest exercises the hotpath analyzer: every flagged
+// construct, the terminating-context fmt exemption, the append reuse idioms,
+// and //aickpt:allow.
+package hotpathtest
+
+import "fmt"
+
+type sink interface{ accept(any) }
+
+type point struct{ x, y int }
+
+// formats allocates per call in normal flow.
+//
+//aickpt:hotpath
+func formats(n int) string {
+	s := fmt.Sprintf("%d", n) // want `fmt.Sprintf on a //aickpt:hotpath function`
+	return s
+}
+
+// coldError is the sanctioned failure shape: fmt only as a return operand.
+//
+//aickpt:hotpath
+func coldError(n int) error {
+	if n < 0 {
+		return fmt.Errorf("hotpathtest: negative %d", n)
+	}
+	return nil
+}
+
+// coldPanic is the sanctioned invariant-violation shape.
+//
+//aickpt:hotpath
+func coldPanic(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("hotpathtest: negative %d", n))
+	}
+}
+
+// converts copies its operand both ways.
+//
+//aickpt:hotpath
+func converts(s string, b []byte) (int, int) {
+	x := []byte(s) // want `conversion on a //aickpt:hotpath function copies`
+	y := string(b) // want `conversion on a //aickpt:hotpath function copies`
+	return len(x), len(y)
+}
+
+// defers schedules a deferred call.
+//
+//aickpt:hotpath
+func defers(f func()) {
+	defer f() // want `defer on a //aickpt:hotpath function`
+}
+
+// closes builds a closure.
+//
+//aickpt:hotpath
+func closes(n int) func() int {
+	return func() int { return n } // want `closure literal on a //aickpt:hotpath function`
+}
+
+// growsFresh appends onto a local slice without the reuse idiom: the result
+// lands in a different variable, so nothing is retained.
+//
+//aickpt:hotpath
+func growsFresh(src []int) []int {
+	var out []int
+	grown := append(out, len(src)) // want `append onto a non-reused slice`
+	return grown
+}
+
+// growsRetained is the pooled-container idiom: x = append(x, ...).
+//
+//aickpt:hotpath
+func growsRetained(s *state, v int) {
+	s.buf = append(s.buf, v)
+	s.buf = append(s.buf[:0], v)
+}
+
+type state struct{ buf []int }
+
+// fillsInto appends onto a caller-supplied buffer (Into-style API).
+//
+//aickpt:hotpath
+func fillsInto(dst []byte, n int) []byte {
+	for i := 0; i < n; i++ {
+		dst = append(dst, byte(i))
+	}
+	return dst
+}
+
+// boxes sends a composite literal through an interface parameter.
+//
+//aickpt:hotpath
+func boxes(s sink) {
+	s.accept(point{1, 2}) // want `composite literal escapes into interface parameter`
+}
+
+// warmsUp allocates once on a cold branch and says so.
+//
+//aickpt:hotpath
+func warmsUp(s *state) {
+	if s.buf == nil {
+		s.buf = append([]int(nil), 0) //aickpt:allow hotpath pool warm-up, once per process
+	}
+}

@@ -1,0 +1,33 @@
+// Package walltimetest exercises the walltime analyzer: forbidden wall-clock
+// reads in a sim-deterministic (internal/) package, the //aickpt:walltime
+// site exemption, and the //aickpt:allow spelling.
+package walltimetest
+
+import "time"
+
+type env struct{ start time.Time }
+
+func (e *env) now() time.Duration {
+	return time.Since(e.start) // want `time.Since in sim-deterministic package`
+}
+
+func (e *env) sleep(d time.Duration) {
+	time.Sleep(d) // want `time.Sleep in sim-deterministic package`
+}
+
+func stamp() time.Time {
+	return time.Now() // want `time.Now in sim-deterministic package`
+}
+
+// realNow is the declared wall-clock boundary of this package.
+func realNow() time.Time {
+	return time.Now() //aickpt:walltime the one sanctioned clock read
+}
+
+// allowedNow uses the generic suppression spelling.
+func allowedNow() time.Time {
+	return time.Now() //aickpt:allow walltime boundary shim
+}
+
+// delta is pure arithmetic on time values: no clock read, nothing flagged.
+func delta(a, b time.Time) time.Duration { return b.Sub(a) }

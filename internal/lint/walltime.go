@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Walltime forbids reading or acting on the wall clock in the module's
+// internal packages: everything under <module>/internal/ is written against
+// the injected clock (sim.Env / obs.Metrics.Now) so the evaluation harness
+// replays bit-identically in virtual time, and a single stray time.Now
+// silently breaks that determinism. The two places that legitimately touch
+// the wall clock — sim.RealEnv and the obs real-clock constructor — carry
+// //aickpt:walltime site annotations.
+//
+// cmd/, examples/ and the public root package are real-time territory and
+// are not checked.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc:  "no wall-clock access (time.Now/Since/Sleep/...) in sim-deterministic internal packages",
+	Run:  runWalltime,
+}
+
+// walltimeForbidden is the set of time-package functions that read or act
+// on the wall clock. Pure constructors and conversions (time.Duration,
+// time.Unix, ParseDuration) are fine and absent.
+var walltimeForbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+func runWalltime(pass *Pass) {
+	if !strings.HasPrefix(pass.PkgPath, pass.ModPath+"/internal/") {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !walltimeForbidden[fn.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"time.%s in sim-deterministic package %s: use the injected clock (sim.Env.Now / obs.Metrics.Now) or annotate the site //aickpt:walltime",
+				fn.Name(), pass.PkgPath)
+			return true
+		})
+	}
+}

@@ -94,23 +94,23 @@ type Hierarchy struct {
 	obs      *obs.Metrics // nil: observability disabled
 
 	mu         sync.Locker
-	notEmpty   []sim.Cond // per lower tier: queue went non-empty / closing
-	notFull    []sim.Cond // per lower tier: queue has a free slot
-	queues     [][]drainJob
-	pending    int // epochs sealed but not yet through the whole pipeline
+	notEmpty   []sim.Cond   // per lower tier: queue went non-empty / closing
+	notFull    []sim.Cond   // per lower tier: queue has a free slot
+	queues     [][]drainJob //aickpt:guardedby mu
+	pending    int          //aickpt:guardedby mu (epochs sealed but not yet through the whole pipeline)
 	idle       sim.Cond
-	closing    bool
-	workers    int
+	closing    bool //aickpt:guardedby mu
+	workers    int  //aickpt:guardedby mu
 	workerExit sim.Cond
-	firstErr   error
-	manifests  map[uint64]*EpochManifest
-	epochs     []uint64 // sealed epochs in seal order (superseded ones included)
-	superseded map[uint64]bool
-	baseMan    *EpochManifest // tier manifest of the compacted base, if any
-	hasBase    bool
-	baseFrom   uint64
-	baseTo     uint64
-	onSettled  func(epoch uint64) // called (unlocked) when an epoch retires from the pipeline
+	firstErr   error                     //aickpt:guardedby mu
+	manifests  map[uint64]*EpochManifest //aickpt:guardedby mu
+	epochs     []uint64                  //aickpt:guardedby mu (sealed epochs in seal order, superseded ones included)
+	superseded map[uint64]bool           //aickpt:guardedby mu
+	baseMan    *EpochManifest            //aickpt:guardedby mu (tier manifest of the compacted base, if any)
+	hasBase    bool                      //aickpt:guardedby mu
+	baseFrom   uint64                    //aickpt:guardedby mu
+	baseTo     uint64                    //aickpt:guardedby mu
+	onSettled  func(epoch uint64)        // called (unlocked) when an epoch retires from the pipeline
 }
 
 // drainJob is one epoch moving through the promotion pipeline. data caches
@@ -157,7 +157,7 @@ func New(cfg Config) (*Hierarchy, error) {
 	h.mu = h.env.NewMutex()
 	h.idle = h.env.NewCond(h.mu)
 	h.workerExit = h.env.NewCond(h.mu)
-	h.queues = make([][]drainJob, len(h.lower))
+	h.queues = make([][]drainJob, len(h.lower)) //aickpt:allow guardedby pre-publication init
 	h.notEmpty = make([]sim.Cond, len(h.lower))
 	h.notFull = make([]sim.Cond, len(h.lower))
 	for i := range h.lower {
@@ -174,6 +174,22 @@ func New(cfg Config) (*Hierarchy, error) {
 	if ch.PageSize != 0 && ch.PageSize != h.pageSize {
 		return nil, fmt.Errorf("multilevel: local tier chain page size %d != %d", ch.PageSize, h.pageSize)
 	}
+	h.recoverChainLocked(ch)
+	for i := range h.lower {
+		for w := 0; w < h.policy.Workers; w++ {
+			h.workers++ //aickpt:allow guardedby pre-publication init, no worker observes it before Go
+			ti := i
+			h.env.Go(fmt.Sprintf("drain-%s-%d", h.lower[i].Name(), w), func() { h.worker(ti) })
+		}
+	}
+	return h, nil
+}
+
+// recoverChainLocked re-queues the sealed epochs (and base) of an existing
+// chain for draining. It runs pre-publication, from New only: no drain
+// worker exists yet, so the single constructing goroutine holds exclusive
+// access — the Locked contract — without touching h.mu.
+func (h *Hierarchy) recoverChainLocked(ch *ckpt.Chain) {
 	if ch.Base != nil {
 		h.hasBase = true
 		h.baseFrom, h.baseTo = ch.Base.Base.From, ch.Base.Base.To
@@ -216,14 +232,6 @@ func New(cfg Config) (*Hierarchy, error) {
 		// enqueueLocked; bring the gauge in line before workers start.
 		h.noteQueueLocked(0)
 	}
-	for i := range h.lower {
-		for w := 0; w < h.policy.Workers; w++ {
-			h.workers++
-			ti := i
-			h.env.Go(fmt.Sprintf("drain-%s-%d", h.lower[i].Name(), w), func() { h.worker(ti) })
-		}
-	}
-	return h, nil
 }
 
 // noteQueueLocked mirrors tier ti's drain-queue length into its gauge.

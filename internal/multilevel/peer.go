@@ -18,8 +18,8 @@ type PeerNode struct {
 	nic  *netsim.Link // optional receive link
 
 	mu     sync.Mutex
-	down   bool
-	shards map[uint64]map[int][]byte // epoch -> page -> shard
+	down   bool                      //aickpt:guardedby mu
+	shards map[uint64]map[int][]byte //aickpt:guardedby mu (epoch -> page -> shard)
 }
 
 // NewPeerNode returns a node named name; nic may be nil (no cost modeling).
@@ -101,7 +101,7 @@ type PeerTier struct {
 	sender *netsim.Link // optional: the checkpointing node's NIC
 
 	mu   sync.Mutex
-	meta map[uint64]*peerEpochMeta
+	meta map[uint64]*peerEpochMeta //aickpt:guardedby mu
 }
 
 // NewPeerTier builds a peer tier over len(nodes) >= k+m nodes. sender, the

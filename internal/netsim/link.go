@@ -41,14 +41,14 @@ type Link struct {
 	mu  sync.Locker
 
 	cond    sim.Cond
-	next    uint64 // next ticket to hand out
-	serving uint64 // ticket currently admitted
+	next    uint64 //aickpt:guardedby mu
+	serving uint64 //aickpt:guardedby mu
 
 	// stats, guarded by mu
 	messages  int64
-	bytes     int64
-	busyTime  time.Duration
-	queueTime time.Duration
+	bytes     int64         //aickpt:guardedby mu
+	busyTime  time.Duration //aickpt:guardedby mu
+	queueTime time.Duration //aickpt:guardedby mu
 }
 
 // NewLink returns a link bound to env.

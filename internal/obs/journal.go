@@ -156,6 +156,8 @@ func (j *Journal) Cap() int { return len(j.slots) }
 
 // record appends one event. Allocation-free: one fetch-add plus five
 // atomic stores.
+//
+//aickpt:hotpath
 func (j *Journal) record(at time.Duration, stage Stage, epoch uint64, page int32, tier int8, value int64) {
 	seq := j.next.Add(1) - 1
 	s := &j.slots[seq&j.mask]

@@ -90,6 +90,8 @@ type Histogram struct {
 }
 
 // Observe records v (clamped at zero).
+//
+//aickpt:hotpath
 func (h *Histogram) Observe(v int64) {
 	if v < 0 {
 		v = 0
@@ -270,8 +272,8 @@ type Metrics struct {
 // real clock.
 func New(now func() time.Duration) *Metrics {
 	if now == nil {
-		start := time.Now()
-		now = func() time.Duration { return time.Since(start) }
+		start := time.Now()                                     //aickpt:walltime documented real-clock fallback for nil now
+		now = func() time.Duration { return time.Since(start) } //aickpt:walltime
 	}
 	return &Metrics{now: now}
 }
@@ -289,6 +291,8 @@ func (m *Metrics) Now() time.Duration {
 // source. It is a no-op on a nil receiver or without a journal, so call
 // sites need no extra guard beyond the one they already hold for
 // counters.
+//
+//aickpt:hotpath
 func (m *Metrics) Trace(stage Stage, epoch uint64, page int32, tier int8, value int64) {
 	if m == nil || m.Journal == nil {
 		return
@@ -299,6 +303,8 @@ func (m *Metrics) Trace(stage Stage, epoch uint64, page int32, tier int8, value 
 // TraceAt is Trace with a caller-supplied timestamp: hot paths that just
 // read the clock for a latency observation pass that reading instead of
 // paying a second clock read.
+//
+//aickpt:hotpath
 func (m *Metrics) TraceAt(at time.Duration, stage Stage, epoch uint64, page int32, tier int8, value int64) {
 	if m == nil || m.Journal == nil {
 		return

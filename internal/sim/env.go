@@ -51,15 +51,15 @@ type RealEnv struct {
 }
 
 // NewRealEnv returns an Env backed by real time.
-func NewRealEnv() *RealEnv { return &RealEnv{start: time.Now()} }
+func NewRealEnv() *RealEnv { return &RealEnv{start: time.Now()} } //aickpt:walltime RealEnv is the wall-clock Env
 
 // Now implements Env.
-func (e *RealEnv) Now() time.Duration { return time.Since(e.start) }
+func (e *RealEnv) Now() time.Duration { return time.Since(e.start) } //aickpt:walltime
 
 // Sleep implements Env.
 func (e *RealEnv) Sleep(d time.Duration) {
 	if d > 0 {
-		time.Sleep(d)
+		time.Sleep(d) //aickpt:walltime
 	}
 }
 

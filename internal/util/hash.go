@@ -10,6 +10,8 @@ const (
 // hashing data through hash/fnv's New64a, but runs inline with zero heap
 // allocations — the checkpoint commit path hashes every page image and the
 // heap hasher object was pure garbage at that rate.
+//
+//aickpt:hotpath
 func Fnv64a(data []byte) uint64 {
 	h := uint64(fnvOffset64)
 	for _, b := range data {

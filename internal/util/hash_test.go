@@ -27,8 +27,8 @@ func TestFnv64aMatchesStdlib(t *testing.T) {
 	}
 }
 
-// TestFnv64aZeroAlloc gates the steady-state hash at zero allocations.
-func TestFnv64aZeroAlloc(t *testing.T) {
+// TestAllocGateFnv64a gates the steady-state hash at zero allocations.
+func TestAllocGateFnv64a(t *testing.T) {
 	page := make([]byte, 4096)
 	for i := range page {
 		page[i] = byte(i * 31)
