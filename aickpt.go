@@ -402,7 +402,13 @@ func New(opts Options) (*Runtime, error) {
 		Metrics:       rt.metrics,
 	})
 	if opts.DebugAddr != "" {
-		srv, err := obs.StartServer(opts.DebugAddr, rt.metrics, rt.Epochs)
+		// POST /scrub triggers an on-demand integrity scrub; custom Stores
+		// have nothing to scrub, so the endpoint reports unsupported there.
+		var scrub obs.ScrubFunc
+		if rt.hier != nil || rt.fs != nil {
+			scrub = func() (any, error) { return rt.Scrub() }
+		}
+		srv, err := obs.StartServer(opts.DebugAddr, rt.metrics, rt.Epochs, scrub)
 		if err != nil {
 			rt.Close()
 			return nil, fmt.Errorf("aickpt: debug server: %w", err)

@@ -23,7 +23,16 @@
 //
 // Usage:
 //
+// The verify mode runs the read-only integrity check (record hashes,
+// manifest decode, torn-tail vs interior-corruption classification) over a
+// repository directory, reporting for each damaged entry which lower tier
+// a scrub could repair it from; pointed at a live debug address it POSTs
+// /scrub instead, asking the running runtime to verify and self-heal.
+//
+// Usage:
+//
 //	ckpt-inspect <repository-dir>
+//	ckpt-inspect verify <repository-dir | debug-addr>
 //	ckpt-inspect metrics <debug-addr | snapshot.json>
 //	ckpt-inspect epochs <debug-addr | epochs.json>
 //	ckpt-inspect scorecard <debug-addr | epochs.json>
@@ -49,10 +58,14 @@ func main() {
 		case "scorecard":
 			runScorecard(os.Args[2])
 			return
+		case "verify":
+			runVerify(os.Args[2])
+			return
 		}
 	}
 	if len(os.Args) != 2 {
 		fmt.Fprintln(os.Stderr, "usage: ckpt-inspect <repository-dir>\n"+
+			"       ckpt-inspect verify <repository-dir | debug-addr>\n"+
 			"       ckpt-inspect metrics <debug-addr | snapshot.json>\n"+
 			"       ckpt-inspect epochs <debug-addr | epochs.json>\n"+
 			"       ckpt-inspect scorecard <debug-addr | epochs.json>")

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	aickpt "repro"
+)
+
+// runVerify implements `ckpt-inspect verify <dir|addr>`. Given a
+// repository directory it runs the read-only integrity check and — when
+// tier manifests are mirrored there — says which lower tier a scrub could
+// repair each damaged entry from. Given a live debug address it POSTs to
+// /scrub, asking the running runtime to verify AND repair, and prints the
+// scrub report.
+func runVerify(target string) {
+	if isLiveTarget(target) {
+		runVerifyLive(target)
+		return
+	}
+	health, err := aickpt.Verify(target)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ckpt-inspect:", err)
+		os.Exit(1)
+	}
+	if len(health) == 0 {
+		fmt.Println("empty chain: nothing to verify")
+		return
+	}
+	// Map each epoch to the lower tiers holding a usable copy, from the
+	// mirrored tier manifests (absent for single-tier repositories).
+	holders := map[uint64][]string{}
+	if tiers, err := aickpt.InspectTiers(target); err == nil {
+		for _, m := range tiers {
+			for _, tc := range m.Tiers {
+				if tc.Level > 0 && (tc.State == "stored" || tc.State == "degraded") {
+					holders[m.Epoch] = append(holders[m.Epoch], tc.Tier)
+				}
+			}
+		}
+	}
+	fmt.Printf("%-24s %-10s %-18s %-24s %s\n", "entry", "epoch", "status", "repairable-from", "detail")
+	damaged := 0
+	for _, h := range health {
+		entry := h.Manifest
+		repair := "-"
+		if h.Damaged {
+			damaged++
+			repair = "nothing: no tier holds it"
+			if hs := holders[h.Epoch]; len(hs) > 0 {
+				repair = strings.Join(hs, ",")
+			}
+		}
+		fmt.Printf("%-24s %-10d %-18s %-24s %s\n", entry, h.Epoch, h.Status, repair, h.Detail)
+	}
+	if damaged > 0 {
+		fmt.Printf("\ndamaged entries: %d; run a scrub (POST /scrub on a live runtime) to repair\n", damaged)
+		os.Exit(1)
+	}
+	fmt.Println("\nchain healthy")
+}
+
+func runVerifyLive(addr string) {
+	url := addr
+	if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
+		url = "http://" + url
+	}
+	client := &http.Client{Timeout: time.Minute}
+	resp, err := client.Post(url+"/scrub", "application/json", nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ckpt-inspect:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ckpt-inspect:", err)
+		os.Exit(1)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "ckpt-inspect: POST %s/scrub: %s: %s\n", url, resp.Status, strings.TrimSpace(string(body)))
+		os.Exit(1)
+	}
+	var rep aickpt.ScrubReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		fmt.Fprintln(os.Stderr, "ckpt-inspect:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("scrub: %d checked, %d corrupt, %d repaired, %d unrepaired, %d requeued\n",
+		rep.Checked, rep.Corrupt, rep.Repaired, rep.Unrepaired, rep.Requeued)
+	for _, e := range rep.Entries {
+		entry := fmt.Sprintf("epoch %d", e.Epoch)
+		if e.IsBase {
+			entry = fmt.Sprintf("base ending at %d", e.Epoch)
+		}
+		action := e.Action
+		if action == "" {
+			action = "-"
+		}
+		fmt.Printf("  %-20s %-18s %-40s %s\n", entry, e.Status, action, e.Detail)
+	}
+	if rep.Unrepaired > 0 {
+		os.Exit(1)
+	}
+}

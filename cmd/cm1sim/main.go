@@ -71,7 +71,7 @@ func runInstrumented(addr string, scale, procs int) {
 	}
 	run := experiments.RunCM1(cfg, core.Adaptive, true)
 
-	srv, err := obs.StartServer(addr, met, func() []obs.EpochRecord { return run.Epochs })
+	srv, err := obs.StartServer(addr, met, func() []obs.EpochRecord { return run.Epochs }, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cm1sim: debug server:", err)
 		os.Exit(1)

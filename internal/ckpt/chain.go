@@ -131,28 +131,81 @@ func (c *Chain) ReclaimableBytes() int64 {
 	return n
 }
 
+// ChainIssue describes one manifest file that failed to load. TornTail
+// marks the benign case: the corrupt manifest's epoch is newer than every
+// intact chain entry, so it can only be the in-flight write of a crash —
+// the epoch was never durably sealed and restore correctly ignores it.
+// Everything else is interior corruption: the chain proves the epoch *was*
+// sealed (a newer intact entry exists), so its loss is real damage that
+// scrub/repair must fix from a redundant tier.
+type ChainIssue struct {
+	// Name is the corrupt manifest's file name.
+	Name string
+	// Epoch is parsed from the file name (a base's To for base manifests).
+	Epoch uint64
+	// IsBase marks a base manifest (always a torn compaction artifact:
+	// an uncommitted base leaves the epochs it would cover intact).
+	IsBase bool
+	// TornTail marks crash artifacts safe to treat as unsealed.
+	TornTail bool
+	// Err is the decode failure.
+	Err error
+}
+
+// parseManifestEpoch extracts the epoch from a chain manifest file name
+// (epoch-NNNNNNNN.json, or base-NNNNNNNN-NNNNNNNN.json whose To is the
+// epoch). ok=false means the name is not a chain manifest at all.
+func parseManifestEpoch(name string) (epoch uint64, isBase bool, ok bool) {
+	if n, err := fmt.Sscanf(name, "epoch-%d.json", &epoch); err == nil && n == 1 {
+		return epoch, false, true
+	}
+	var from uint64
+	if n, err := fmt.Sscanf(name, "base-%d-%d.json", &from, &epoch); err == nil && n == 2 {
+		return epoch, true, true
+	}
+	return 0, false, false
+}
+
 // LoadChain assembles the repository's chain from fs. Crash-recovery
 // semantics: a base segment without a manifest (compaction interrupted
-// before its commit point) is invisible, and a base manifest that fails to
-// decode is skipped — the epochs it would have covered are still present,
-// so the chain remains restorable. A corrupt *epoch* manifest is an error,
-// as in v1, but a manifest that vanishes between List and Open (a
-// concurrent garbage-collection pass collected it) is skipped. Manifests
-// that disagree on page size are rejected, naming the diverging entry.
+// before its commit point) is invisible, a base manifest that fails to
+// decode is skipped (the epochs it would have covered are still present,
+// so the chain remains restorable), and a corrupt epoch manifest *newer
+// than every intact entry* is a torn tail from a mid-crash — ignored as
+// unsealed. A corrupt interior epoch manifest is an error naming the
+// repair path: the chain proves that epoch was once sealed, so its loss
+// cannot be explained away as an unfinished write. A manifest that
+// vanishes between List and Open (a concurrent garbage-collection pass
+// collected it) is skipped. Manifests that disagree on page size are
+// rejected, naming the diverging entry.
 func LoadChain(fs FS) (*Chain, error) {
+	c, _, err := loadChain(fs, false)
+	return c, err
+}
+
+// LoadChainLenient is LoadChain without the interior-corruption error: it
+// assembles the best chain the intact manifests allow and reports every
+// unloadable manifest as a ChainIssue, classified torn-tail or not. Scrub
+// and the verify tool use it to inspect a damaged repository that the
+// strict loader would refuse.
+func LoadChainLenient(fs FS) (*Chain, []ChainIssue, error) {
+	return loadChain(fs, true)
+}
+
+func loadChain(fs FS, lenient bool) (*Chain, []ChainIssue, error) {
 	names, err := fs.List()
 	if err != nil {
-		return nil, fmt.Errorf("ckpt: list: %w", err)
+		return nil, nil, fmt.Errorf("ckpt: list: %w", err)
 	}
 	c := &Chain{}
 	var bases []Manifest
+	var issues []ChainIssue
 	for _, n := range names {
 		if !strings.HasSuffix(n, ".json") {
 			continue
 		}
-		isEpoch := strings.HasPrefix(n, "epoch-")
-		isBase := strings.HasPrefix(n, "base-")
-		if !isEpoch && !isBase {
+		epoch, isBase, isChain := parseManifestEpoch(n)
+		if !isChain {
 			continue
 		}
 		f, err := fs.Open(n)
@@ -160,16 +213,14 @@ func LoadChain(fs FS) (*Chain, error) {
 			if errors.Is(err, iofs.ErrNotExist) {
 				continue // vanished since List: concurrently collected
 			}
-			return nil, fmt.Errorf("ckpt: open %s: %w", n, err)
+			return nil, nil, fmt.Errorf("ckpt: open %s: %w", n, err)
 		}
 		var m Manifest
 		err = json.NewDecoder(f).Decode(&m)
 		f.Close()
 		if err != nil {
-			if isBase {
-				continue // uncommitted/torn compaction artifact: ignore
-			}
-			return nil, fmt.Errorf("ckpt: manifest %s corrupt: %w", n, err)
+			issues = append(issues, ChainIssue{Name: n, Epoch: epoch, IsBase: isBase, Err: err})
+			continue
 		}
 		if isBase {
 			if m.Base == nil {
@@ -207,10 +258,36 @@ func LoadChain(fs FS) (*Chain, error) {
 		}
 		c.Epochs = live
 	}
-	if err := c.validatePageSize(); err != nil {
-		return nil, err
+	// Classify the unloadable manifests now that the intact chain's reach
+	// is known. A corrupt base manifest is always an uncommitted compaction
+	// artifact (the epochs it would cover are still live). A corrupt epoch
+	// manifest newer than every intact entry cannot be proven sealed — it
+	// is the torn tail of a crash and restore rightly ignores it. A corrupt
+	// epoch manifest at or below the chain's reach was once sealed: real
+	// interior damage.
+	maxIntact, haveIntact := c.LastEpoch()
+	for i := range issues {
+		is := &issues[i]
+		switch {
+		case is.IsBase:
+			is.TornTail = true
+		case !haveIntact || is.Epoch > maxIntact:
+			is.TornTail = true
+		case c.Base != nil && is.Epoch <= c.Base.Base.To:
+			// Superseded garbage awaiting GC: restore never reads it.
+			is.TornTail = true
+		default:
+			if !lenient {
+				return nil, issues, fmt.Errorf(
+					"ckpt: manifest %s corrupt (interior epoch %d, chain reaches %d; run scrub to quarantine and repair it from a redundant tier): %w",
+					is.Name, is.Epoch, maxIntact, is.Err)
+			}
+		}
 	}
-	return c, nil
+	if err := c.validatePageSize(); err != nil {
+		return nil, issues, err
+	}
+	return c, issues, nil
 }
 
 // validatePageSize rejects a chain whose manifests disagree on page size,
@@ -281,12 +358,12 @@ func WriteBase(fs FS, from, to uint64, pageSize int, pages map[int][]byte, codec
 		return Manifest{}, fmt.Errorf("ckpt: create base segment: %w", err)
 	}
 	if err := w.begin(f); err != nil {
-		f.Close()
+		Discard(f)
 		return Manifest{}, err
 	}
 	for _, id := range sortedPageIDs(pages) {
 		if err := w.writeRecord(&man, id, pages[id], contentHash(pages[id])); err != nil {
-			f.Close()
+			Discard(f)
 			return Manifest{}, fmt.Errorf("ckpt: base page %d: %w", id, err)
 		}
 	}

@@ -343,11 +343,18 @@ func TestLastSealedEpochErrorPaths(t *testing.T) {
 	fs := &MemFS{}
 	r := NewRepository(fs, 32)
 	sealEpoch(t, r, 1, 32, map[int]byte{0: 0x42})
-	// Truncated manifest: the chain is unreadable and the error surfaces
-	// (a restarted runtime must not silently restart numbering at zero).
+	// Truncated *newest* manifest: a torn tail from a mid-crash write —
+	// the epoch never sealed, so the chain is simply empty again.
 	fs.Truncate(manifestName(1), 5)
+	if _, ok, err := LastSealedEpoch(fs); err != nil || ok {
+		t.Fatalf("torn tail: ok=%v err=%v, want unsealed and no error", ok, err)
+	}
+	// Truncated *interior* manifest: a newer intact epoch proves epoch 1
+	// was once sealed, so its corruption is real damage and must surface
+	// (a restarted runtime must not silently renumber over lost state).
+	sealEpoch(t, r, 2, 32, map[int]byte{0: 0x43})
 	if _, _, err := LastSealedEpoch(fs); err == nil {
-		t.Fatal("LastSealedEpoch ignored a truncated manifest")
+		t.Fatal("LastSealedEpoch ignored an interior corrupt manifest")
 	}
 	// Empty repository: no error, ok=false.
 	if _, ok, err := LastSealedEpoch(&MemFS{}); err != nil || ok {
@@ -370,9 +377,17 @@ func TestInspectErrorPaths(t *testing.T) {
 		fs := &MemFS{}
 		r := NewRepository(fs, 32)
 		sealEpoch(t, r, 1, 32, map[int]byte{0: 0x42})
+		// Torn tail (no newer intact epoch): the epoch never sealed, so
+		// Inspect sees an empty chain rather than an error.
 		fs.Truncate(manifestName(1), 7)
+		infos, err := Inspect(fs)
+		if err != nil || len(infos) != 0 {
+			t.Fatalf("torn tail: infos = %+v err = %v, want empty chain", infos, err)
+		}
+		// Interior corruption (epoch 2 proves epoch 1 was sealed): error.
+		sealEpoch(t, r, 2, 32, map[int]byte{0: 0x43})
 		if _, err := Inspect(fs); err == nil {
-			t.Fatal("Inspect accepted a truncated manifest")
+			t.Fatal("Inspect accepted an interior corrupt manifest")
 		}
 	})
 	t.Run("corrupt codec byte", func(t *testing.T) {

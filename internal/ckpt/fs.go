@@ -5,9 +5,18 @@
 // so a crash mid-checkpoint leaves an unsealed epoch that restore ignores —
 // restart always sees a consistent image, which is the correctness contract
 // of checkpoint-restart.
+//
+// That contract rests on two FS properties, both part of the FS interface's
+// publish-on-close semantics: a file created through Create is invisible
+// until its writer's Close returns (atomicity — a reader never sees a
+// half-written manifest), and once Close returns the content is durable
+// (OSFS fsyncs the file and its directory around the rename that publishes
+// it). Write ordering alone — segment before manifest — is therefore a real
+// persist barrier, not an accident of append order.
 package ckpt
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	iofs "io/fs"
@@ -16,13 +25,25 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 )
 
 // FS is the minimal filesystem surface the repository needs; it has a real
 // directory-backed implementation (OSFS) and an in-memory one (MemFS) for
 // tests and simulations.
+//
+// Create follows publish-on-close semantics: the returned writer stages the
+// file's content, and only a successful Close makes the file visible to
+// Open/List — atomically replacing any previous content under the same
+// name, and durably where the medium supports it (OSFS: temp file → fsync →
+// rename → directory fsync). A writer abandoned without Close (or discarded
+// via Discard) publishes nothing. Every repository commit point — epoch
+// manifests, base manifests, segment files, tier-manifest mirrors — relies
+// on this contract.
 type FS interface {
-	// Create opens name for writing, truncating any previous content.
+	// Create opens name for writing; the file is published atomically (and
+	// durably, medium permitting) when the returned writer is closed.
 	Create(name string) (io.WriteCloser, error)
 	// Open opens name for reading.
 	Open(name string) (io.ReadCloser, error)
@@ -32,7 +53,31 @@ type FS interface {
 	Remove(name string) error
 }
 
-// MemFS is an in-memory FS. The zero value is ready to use.
+// Aborter is implemented by FS writers that can abandon a file mid-write:
+// Abort discards everything staged without publishing, leaving any previous
+// content under the name untouched.
+type Aborter interface {
+	Abort() error
+}
+
+// Discard abandons a writer without publishing its content when the writer
+// supports it (all FS implementations in this module do); otherwise it falls
+// back to Close. Error paths use it so a failed segment or manifest write
+// never publishes a partial file over a good one.
+func Discard(w io.WriteCloser) {
+	if w == nil {
+		return
+	}
+	if a, ok := w.(Aborter); ok {
+		_ = a.Abort()
+		return
+	}
+	_ = w.Close()
+}
+
+// MemFS is an in-memory FS. The zero value is ready to use. Files are
+// published on Close, atomically, matching the FS contract (durability is
+// moot in memory).
 type MemFS struct {
 	mu    sync.Mutex
 	files map[string][]byte
@@ -61,6 +106,13 @@ func (f *memFile) Close() error {
 	f.fs.mu.Lock()
 	defer f.fs.mu.Unlock()
 	f.fs.files[f.name] = f.buf
+	return nil
+}
+
+// Abort implements Aborter: the staged content is dropped unpublished.
+func (f *memFile) Abort() error {
+	f.done = true
+	f.buf = nil
 	return nil
 }
 
@@ -117,7 +169,8 @@ func (m *MemFS) Drop(name string) {
 	delete(m.files, name)
 }
 
-// Truncate cuts a file to n bytes, simulating a torn write after a crash.
+// Truncate cuts a file to n bytes, simulating a torn write after a crash
+// on a medium without atomic publish.
 func (m *MemFS) Truncate(name string, n int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -126,22 +179,111 @@ func (m *MemFS) Truncate(name string, n int) {
 	}
 }
 
-// OSFS stores files in a real directory.
+// tmpPrefix marks not-yet-published staging files in an OSFS directory.
+// List hides them and NewOSFS sweeps orphans left by a crash mid-write.
+const tmpPrefix = ".tmp-"
+
+// tmpSeq disambiguates concurrent staging files for the same target name.
+var tmpSeq atomic.Uint64
+
+// OSFS stores files in a real directory with publish-on-close semantics:
+// Create writes to a hidden temp file, and Close fsyncs it, renames it over
+// the final name and fsyncs the directory — the POSIX atomic-durable-publish
+// protocol. A crash at any point leaves either the old content or the new,
+// never a torn mix, and a published file survives power loss.
 type OSFS struct {
 	Dir string
 }
 
-// NewOSFS creates (if necessary) and wraps dir.
+// NewOSFS creates (if necessary) and wraps dir, sweeping any staging files
+// orphaned by an earlier crash mid-publish.
 func NewOSFS(dir string) (*OSFS, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("ckpt: %w", err)
 	}
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasPrefix(e.Name(), tmpPrefix) {
+				_ = os.Remove(filepath.Join(dir, e.Name()))
+			}
+		}
+	}
 	return &OSFS{Dir: dir}, nil
 }
 
-// Create implements FS.
+type osFile struct {
+	dir  string
+	name string // final file name
+	tmp  string // absolute staging path
+	f    *os.File
+	done bool
+}
+
+func (f *osFile) Write(p []byte) (int, error) {
+	if f.done {
+		return 0, fmt.Errorf("ckpt: write to closed file %q", f.name)
+	}
+	return f.f.Write(p)
+}
+
+// Close publishes the staged content: fsync the temp file, rename it over
+// the final name, fsync the directory so the rename itself is durable.
+func (f *osFile) Close() error {
+	if f.done {
+		return nil
+	}
+	f.done = true
+	if err := f.f.Sync(); err != nil {
+		f.f.Close()
+		os.Remove(f.tmp)
+		return fmt.Errorf("ckpt: sync %s: %w", f.name, err)
+	}
+	if err := f.f.Close(); err != nil {
+		os.Remove(f.tmp)
+		return fmt.Errorf("ckpt: close %s: %w", f.name, err)
+	}
+	if err := os.Rename(f.tmp, filepath.Join(f.dir, f.name)); err != nil {
+		os.Remove(f.tmp)
+		return fmt.Errorf("ckpt: publish %s: %w", f.name, err)
+	}
+	return syncDir(f.dir)
+}
+
+// Abort implements Aborter: the staging file is removed unpublished.
+func (f *osFile) Abort() error {
+	if f.done {
+		return nil
+	}
+	f.done = true
+	f.f.Close()
+	return os.Remove(f.tmp)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+// Filesystems that cannot sync directories (returning EINVAL/ENOTSUP) are
+// tolerated: the rename is still atomic there, just not durably ordered.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("ckpt: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil &&
+		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("ckpt: sync dir: %w", err)
+	}
+	return nil
+}
+
+// Create implements FS: content is staged in a hidden temp file and
+// published atomically and durably by Close.
 func (o *OSFS) Create(name string) (io.WriteCloser, error) {
-	return os.Create(filepath.Join(o.Dir, name))
+	tmp := filepath.Join(o.Dir, fmt.Sprintf("%s%d-%s", tmpPrefix, tmpSeq.Add(1), name))
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, err
+	}
+	return &osFile{dir: o.Dir, name: name, tmp: tmp, f: f}, nil
 }
 
 // Open implements FS.
@@ -149,7 +291,8 @@ func (o *OSFS) Open(name string) (io.ReadCloser, error) {
 	return os.Open(filepath.Join(o.Dir, name))
 }
 
-// List implements FS.
+// List implements FS. Unpublished staging files are hidden: until Close
+// renames them into place they are not part of the repository.
 func (o *OSFS) List() ([]string, error) {
 	entries, err := os.ReadDir(o.Dir)
 	if err != nil {
@@ -157,7 +300,7 @@ func (o *OSFS) List() ([]string, error) {
 	}
 	names := make([]string, 0, len(entries))
 	for _, e := range entries {
-		if !e.IsDir() {
+		if !e.IsDir() && !strings.HasPrefix(e.Name(), tmpPrefix) {
 			names = append(names, e.Name())
 		}
 	}

@@ -293,9 +293,12 @@ func (s *epochStage) close() error {
 	return s.err
 }
 
+// finish flushes and closes the segment file; under the FS contract the
+// Close is what publishes the segment. A flush failure discards the file
+// unpublished — a half-flushed segment must never become visible.
 func (w *segmentWriter) finish() error {
 	if err := w.buf.Flush(); err != nil {
-		w.f.Close()
+		Discard(w.f)
 		return fmt.Errorf("flush: %w", err)
 	}
 	return w.f.Close()
@@ -303,7 +306,7 @@ func (w *segmentWriter) finish() error {
 
 func (w *segmentWriter) abort() {
 	if w.f != nil {
-		w.f.Close()
+		Discard(w.f)
 	}
 }
 
@@ -315,7 +318,7 @@ func writeManifestFile(fs FS, name string, m *Manifest) error {
 		return fmt.Errorf("ckpt: create manifest: %w", err)
 	}
 	if err := json.NewEncoder(f).Encode(m); err != nil {
-		f.Close()
+		Discard(f)
 		return fmt.Errorf("ckpt: encode manifest: %w", err)
 	}
 	if err := f.Close(); err != nil {
@@ -551,24 +554,27 @@ func (r *Repository) checkChainPageSizeLocked() error {
 	if err != nil {
 		return fmt.Errorf("ckpt: list: %w", err)
 	}
-	var pick string
+	var picks []string
 	for _, n := range names {
 		// Sorted names put base-* before epoch-*, so the newest epoch
 		// manifest wins whenever one exists.
 		if (strings.HasPrefix(n, "epoch-") || strings.HasPrefix(n, "base-")) && strings.HasSuffix(n, ".json") {
-			pick = n
+			picks = append(picks, n)
 		}
 	}
-	if pick != "" {
-		m, err := decodeManifestFile(r.fs, pick)
+	// Walk newest to oldest: the newest *decodable* manifest carries the
+	// chain's page size. Torn manifests (crash artifacts at the tail) are
+	// skipped here; the strict chain loader decides whether a decode
+	// failure is fatal when the chain is actually read.
+	for i := len(picks) - 1; i >= 0; i-- {
+		m, err := decodeManifestFile(r.fs, picks[i])
 		if err != nil {
-			if strings.HasPrefix(pick, "epoch-") {
-				return err
-			}
-			// A torn base manifest is an ignorable crash artifact.
-		} else if m.PageSize != r.pageSize {
+			continue
+		}
+		if m.PageSize != r.pageSize {
 			return fmt.Errorf("ckpt: repository chain has page size %d, repository opened with %d", m.PageSize, r.pageSize)
 		}
+		break
 	}
 	r.sizeChecked = true
 	return nil

@@ -44,26 +44,43 @@ type EpochInfo struct {
 }
 
 // sealedEpochs returns the epoch manifests present on fs, sorted by epoch.
-// A chain whose manifests disagree on page size is rejected, naming the
-// epoch that diverged — folding mixed-granularity epochs would silently
-// misplace every page of the divergent epochs.
+// A corrupt manifest newer than every decodable one is the torn tail of a
+// mid-crash write — the epoch never sealed, so it is skipped; a corrupt
+// manifest older than an intact one was provably sealed once, which is
+// interior damage and an error (scrub repairs it). A chain whose manifests
+// disagree on page size is rejected, naming the epoch that diverged —
+// folding mixed-granularity epochs would silently misplace every page of
+// the divergent epochs.
 func sealedEpochs(fs FS) ([]Manifest, error) {
 	names, err := fs.List()
 	if err != nil {
 		return nil, fmt.Errorf("ckpt: list: %w", err)
 	}
 	var ms []Manifest
+	var bad []ChainIssue
 	for _, n := range names {
 		if !strings.HasPrefix(n, "epoch-") || !strings.HasSuffix(n, ".json") {
 			continue
 		}
+		epoch, isBase, isChain := parseManifestEpoch(n)
+		if !isChain || isBase {
+			continue
+		}
 		m, err := decodeManifestFile(fs, n)
 		if err != nil {
-			return nil, err
+			bad = append(bad, ChainIssue{Name: n, Epoch: epoch, Err: err})
+			continue
 		}
 		ms = append(ms, m)
 	}
 	sortManifests(ms)
+	for _, b := range bad {
+		if len(ms) == 0 || b.Epoch > ms[len(ms)-1].Epoch {
+			continue // torn tail: never sealed
+		}
+		return nil, fmt.Errorf("ckpt: manifest %s corrupt (interior epoch %d; run scrub to repair it from a redundant tier): %w",
+			b.Name, b.Epoch, b.Err)
+	}
 	for _, m := range ms {
 		if m.PageSize != ms[0].PageSize {
 			return nil, fmt.Errorf("ckpt: epoch %d has page size %d, chain uses %d: mixed-granularity chain is not restorable",

@@ -1,0 +1,178 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	iofs "io/fs"
+)
+
+// Segment health statuses reported by VerifyChain.
+const (
+	// StatusOK: manifest decoded and every segment record verified.
+	StatusOK = "ok"
+	// StatusTornTail: a manifest torn by a mid-crash write, newer than
+	// every intact chain entry — the epoch never sealed; harmless, no
+	// repair needed (the file is still a quarantine candidate).
+	StatusTornTail = "torn-tail"
+	// StatusManifestCorrupt: an interior manifest failed to decode — the
+	// epoch was provably sealed once, so this is real damage.
+	StatusManifestCorrupt = "manifest-corrupt"
+	// StatusSegmentMissing: a sealed manifest whose segment file is gone.
+	StatusSegmentMissing = "segment-missing"
+	// StatusSegmentCorrupt: a segment whose records fail verification
+	// (bad magic, truncated tail, payload hash mismatch, record count).
+	StatusSegmentCorrupt = "segment-corrupt"
+)
+
+// SegmentHealth is one VerifyChain finding: the health of one live chain
+// entry (or one unloadable manifest).
+type SegmentHealth struct {
+	// Manifest is the manifest file name.
+	Manifest string `json:"manifest"`
+	// Segment is the segment file name ("" for epochs with no physical
+	// records).
+	Segment string `json:"segment,omitempty"`
+	// Epoch is the entry's epoch (a base's To).
+	Epoch uint64 `json:"epoch"`
+	// IsBase marks a consolidated base entry.
+	IsBase bool `json:"is_base,omitempty"`
+	// Status is one of the Status* constants.
+	Status string `json:"status"`
+	// Detail carries the verification error for non-ok statuses.
+	Detail string `json:"detail,omitempty"`
+	// PageCount is the entry's physical record count (0 when the manifest
+	// is unreadable).
+	PageCount int `json:"page_count"`
+}
+
+// Damaged reports whether the entry needs repair (torn tails do not: they
+// were never sealed).
+func (h SegmentHealth) Damaged() bool {
+	return h.Status != StatusOK && h.Status != StatusTornTail
+}
+
+// VerifyChain is a read-only scrub of the live chain: it loads whatever
+// manifests decode, classifies the ones that do not (torn tail vs interior
+// corruption), and re-reads every live segment — base plus live epochs —
+// verifying record magic, sizes, payload hashes and record counts against
+// the manifest. It mutates nothing; Scrub layers quarantine and repair on
+// top of its findings.
+func VerifyChain(fs FS) ([]SegmentHealth, error) {
+	ch, issues, err := LoadChainLenient(fs)
+	if err != nil {
+		return nil, err
+	}
+	var out []SegmentHealth
+	for _, is := range issues {
+		h := SegmentHealth{Manifest: is.Name, Epoch: is.Epoch, IsBase: is.IsBase}
+		if is.TornTail {
+			h.Status = StatusTornTail
+		} else {
+			h.Status = StatusManifestCorrupt
+		}
+		if is.Err != nil {
+			h.Detail = is.Err.Error()
+		}
+		out = append(out, h)
+	}
+	check := func(m Manifest) {
+		h := SegmentHealth{
+			Manifest:  manifestFile(m),
+			Epoch:     m.Epoch,
+			IsBase:    m.Base != nil,
+			Status:    StatusOK,
+			PageCount: m.PageCount,
+		}
+		if m.PageCount > 0 {
+			h.Segment = segmentFile(m)
+		}
+		if err := readSegment(fs, m, func(int, []byte) {}); err != nil {
+			if errors.Is(err, iofs.ErrNotExist) {
+				h.Status = StatusSegmentMissing
+			} else {
+				h.Status = StatusSegmentCorrupt
+			}
+			h.Detail = err.Error()
+		}
+		out = append(out, h)
+	}
+	if ch.Base != nil {
+		check(*ch.Base)
+	}
+	for _, m := range ch.Epochs {
+		check(m)
+	}
+	return out, nil
+}
+
+// QuarantinePrefix is prepended to a quarantined file's name. The prefix
+// removes the file from the chain's namespace — the loaders only consider
+// epoch-*/base-* names — while preserving its bytes for post-mortems.
+const QuarantinePrefix = "quarantine-"
+
+// Quarantine moves a damaged chain file out of the chain's namespace:
+// its bytes are copied under QuarantinePrefix and the original removed,
+// so a subsequent repair can publish a clean replacement without the
+// corrupt bytes shadowing it (or lingering as a plausible-looking file if
+// the repair is interrupted).
+func Quarantine(fs FS, name string) error {
+	src, err := fs.Open(name)
+	if err != nil {
+		return fmt.Errorf("ckpt: quarantine %s: %w", name, err)
+	}
+	dst, err := fs.Create(QuarantinePrefix + name)
+	if err != nil {
+		src.Close()
+		return fmt.Errorf("ckpt: quarantine %s: %w", name, err)
+	}
+	_, err = io.Copy(dst, src)
+	src.Close()
+	if err != nil {
+		Discard(dst)
+		return fmt.Errorf("ckpt: quarantine %s: %w", name, err)
+	}
+	if err := dst.Close(); err != nil {
+		return fmt.Errorf("ckpt: quarantine %s: %w", name, err)
+	}
+	if err := fs.Remove(name); err != nil {
+		return fmt.Errorf("ckpt: quarantine %s: %w", name, err)
+	}
+	return nil
+}
+
+// RewriteEpoch rebuilds one sealed epoch from raw page content fetched
+// from a redundant tier (peer shards or the PFS mirror): the segment is
+// written first, the manifest — the commit point — last, exactly like the
+// original seal, so a crash mid-repair leaves the epoch unsealed rather
+// than half-repaired and the repair simply reruns. pages maps page ID to
+// raw content (the rewritten records are stored uncompressed); refs
+// preserves the epoch's dedup annotations when the old manifest was still
+// decodable, or nil to drop them (refs are never needed for restore).
+func RewriteEpoch(fs FS, epoch uint64, pageSize int, pages map[int][]byte, refs []PageRef) (Manifest, error) {
+	man := Manifest{Epoch: epoch, PageSize: pageSize, Format: FormatV2, Refs: refs}
+	if len(pages) > 0 {
+		w := &segmentWriter{pageSize: pageSize}
+		f, err := fs.Create(segmentName(epoch))
+		if err != nil {
+			return Manifest{}, fmt.Errorf("ckpt: rewrite epoch %d: %w", epoch, err)
+		}
+		if err := w.begin(f); err != nil {
+			Discard(f)
+			return Manifest{}, err
+		}
+		for _, id := range sortedPageIDs(pages) {
+			if err := w.writeRecord(&man, id, pages[id], contentHash(pages[id])); err != nil {
+				Discard(f)
+				return Manifest{}, fmt.Errorf("ckpt: rewrite epoch %d page %d: %w", epoch, id, err)
+			}
+		}
+		if err := w.finish(); err != nil {
+			return Manifest{}, fmt.Errorf("ckpt: rewrite epoch %d: %w", epoch, err)
+		}
+	}
+	if err := writeManifestFile(fs, manifestName(epoch), &man); err != nil {
+		return Manifest{}, err
+	}
+	return man, nil
+}

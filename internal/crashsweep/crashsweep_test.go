@@ -1,0 +1,82 @@
+package crashsweep
+
+import "testing"
+
+const pageSize = 256
+
+// tornVariants covers the publish media models: atomic (nil), almost-full
+// prefix (classic torn tail), and half.
+var tornVariants = []struct {
+	name string
+	torn func(int) int
+}{
+	{"atomic", nil},
+	{"torn-1", func(n int) int { return n - 1 }},
+	{"torn-half", func(n int) int { return n / 2 }},
+	{"torn-empty", func(int) int { return 0 }},
+}
+
+func TestRepoSweep(t *testing.T) {
+	for _, v := range tornVariants {
+		t.Run(v.name, func(t *testing.T) {
+			rep, err := RepoSweep(pageSize, v.torn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Ops < 10 {
+				t.Fatalf("workload too small to sweep: %d ops", rep.Ops)
+			}
+			if int64(len(rep.Points)) != rep.Ops {
+				t.Fatalf("verified %d crash points, want %d", len(rep.Points), rep.Ops)
+			}
+			// The sweep must reach every seal state, from nothing durable
+			// up to the whole workload.
+			if first := rep.Points[0].Sealed; first != 0 {
+				t.Errorf("crash at op 1 left epoch %d sealed", first)
+			}
+			if last := rep.Points[len(rep.Points)-1]; last.MinSealed < 3 {
+				t.Errorf("crash at final op should have >= 3 durable epochs, floor %d", last.MinSealed)
+			}
+		})
+	}
+}
+
+func TestRepoSweepIsDeterministic(t *testing.T) {
+	a, err := RepoSweep(pageSize, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RepoSweep(pageSize, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ops != b.Ops || len(a.Points) != len(b.Points) {
+		t.Fatalf("sweep shape differs across runs: %d/%d vs %d/%d ops/points",
+			a.Ops, len(a.Points), b.Ops, len(b.Points))
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("crash point %d differs across runs: %+v vs %+v", i, a.Points[i], b.Points[i])
+		}
+	}
+}
+
+func TestHierarchySweep(t *testing.T) {
+	for _, v := range tornVariants {
+		t.Run(v.name, func(t *testing.T) {
+			rep, err := HierarchySweep(pageSize, v.torn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Ops < 6 {
+				t.Fatalf("workload too small to sweep: %d ops", rep.Ops)
+			}
+			if int64(len(rep.Points)) != rep.Ops {
+				t.Fatalf("verified %d crash points, want %d", len(rep.Points), rep.Ops)
+			}
+			if last := rep.Points[len(rep.Points)-1]; last.MinSealed < 2 {
+				t.Errorf("crash at final op should have >= 2 durable epochs, floor %d", last.MinSealed)
+			}
+		})
+	}
+}

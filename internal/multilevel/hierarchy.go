@@ -269,10 +269,15 @@ func (h *Hierarchy) newBaseManifest(man ckpt.Manifest) *EpochManifest {
 }
 
 // markSupersededLocked flips every tier copy of a manifest to superseded:
-// the epoch's content now travels with the compacted base.
+// the epoch's content now travels with the compacted base. A copy that was
+// sitting in the failed state stops being repair debt (scrub would requeue
+// it), so the failed-copies gauge drops with it.
 func (h *Hierarchy) markSupersededLocked(m *EpochManifest) {
 	h.superseded[m.Epoch] = true
 	for i := range m.Tiers {
+		if m.Tiers[i].State == StateFailed && h.obs != nil {
+			h.obs.FailedTierCopies.Add(-1)
+		}
 		m.Tiers[i].State = StateSuperseded
 		m.Tiers[i].Err = ""
 	}
@@ -536,6 +541,7 @@ func (h *Hierarchy) drainOne(ti int, job drainJob) {
 		}
 		if h.obs != nil {
 			h.obs.DrainFailures.Inc()
+			h.obs.FailedTierCopies.Add(1)
 			h.obs.Trace(obs.StagePromoteFail, job.epoch, -1, int8(ti+1), 0)
 		}
 	default:

@@ -160,11 +160,17 @@ func (t *PeerTier) Store(ep *EpochData) error {
 				failed[i] = true
 				continue
 			}
-			if t.sender != nil {
-				t.sender.Transfer(int64(len(shard)))
+			// The sender link is the checkpointing node's own NIC: with it
+			// down no shard can leave the node, so the whole store fails
+			// (retryably) rather than degrading.
+			if t.sender != nil && !t.sender.TryTransfer(int64(len(shard))) {
+				return fmt.Errorf("multilevel: peer tier %s: local NIC down storing epoch %d", t.name, ep.Epoch)
 			}
-			if n.nic != nil {
-				n.nic.Transfer(int64(len(shard)))
+			// A partitioned receive link loses just this node's shards;
+			// the erasure budget absorbs it like a down node.
+			if n.nic != nil && !n.nic.TryTransfer(int64(len(shard))) {
+				failed[i] = true
+				continue
 			}
 			if !n.put(ep.Epoch, id, shard) {
 				failed[i] = true
@@ -221,8 +227,8 @@ func (t *PeerTier) Load(epoch uint64) (*EpochData, error) {
 		for i := range shards {
 			n := t.node(meta.start, i)
 			shards[i] = n.get(epoch, id)
-			if shards[i] != nil && n.nic != nil {
-				n.nic.Transfer(int64(len(shards[i])))
+			if shards[i] != nil && n.nic != nil && !n.nic.TryTransfer(int64(len(shards[i]))) {
+				shards[i] = nil // partitioned link: the shard is unreachable
 			}
 		}
 		data, err := t.coder.Decode(shards, size)

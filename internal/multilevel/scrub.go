@@ -1,0 +1,286 @@
+package multilevel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ckpt"
+	"repro/internal/obs"
+)
+
+// ScrubEntry is one scrub finding: a damaged (or torn) chain entry and
+// what the pass did about it.
+type ScrubEntry struct {
+	Epoch  uint64 `json:"epoch"`
+	IsBase bool   `json:"is_base,omitempty"`
+	// Status is the ckpt segment-health status that triggered the entry
+	// (or "drain-failed" for requeued tier copies).
+	Status string `json:"status"`
+	// Action records the outcome: "repaired from <tier>", "requeued",
+	// "unrepaired: <reason>", or "" for torn tails (nothing to do).
+	Action string `json:"action,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// ScrubReport summarizes one scrub pass.
+type ScrubReport struct {
+	// Checked counts the live chain entries verified on L1.
+	Checked int `json:"checked"`
+	// Corrupt counts the damaged entries found (torn tails excluded:
+	// they were never sealed).
+	Corrupt int `json:"corrupt"`
+	// Repaired / Unrepaired split Corrupt by outcome.
+	Repaired   int `json:"repaired"`
+	Unrepaired int `json:"unrepaired"`
+	// Requeued counts gave-up tier copies re-enqueued for draining.
+	Requeued int          `json:"requeued"`
+	Entries  []ScrubEntry `json:"entries,omitempty"`
+}
+
+// Scrub verifies every live chain entry on the local tier — manifest
+// decode, record magic, payload hashes, record counts — and self-heals
+// what it can: damaged epochs are quarantined and rebuilt from the
+// fastest lower tier still holding them (peer erasure shards, then PFS),
+// a damaged base is re-folded from the per-epoch copies the lower tiers
+// kept, and tier copies abandoned after their retry budget (drain
+// failures) are re-enqueued for promotion so a recovered tier catches
+// back up. It is safe to run concurrently with active drains and seals:
+// verification is read-only, repairs publish atomically, and requeueing
+// takes the hierarchy lock. Under a virtual-time kernel it must be called
+// from a kernel process.
+func (h *Hierarchy) Scrub() (ScrubReport, error) {
+	var rep ScrubReport
+	fs := h.local.FS()
+	health, err := ckpt.VerifyChain(fs)
+	if err != nil {
+		return rep, fmt.Errorf("multilevel: scrub: %w", err)
+	}
+	rep.Checked = len(health)
+	if h.obs != nil {
+		h.obs.ScrubSegments.Add(uint64(len(health)))
+	}
+	for _, hs := range health {
+		if !hs.Damaged() {
+			if hs.Status == ckpt.StatusTornTail {
+				rep.Entries = append(rep.Entries, ScrubEntry{
+					Epoch: hs.Epoch, IsBase: hs.IsBase, Status: hs.Status, Detail: hs.Detail,
+				})
+			}
+			continue
+		}
+		rep.Corrupt++
+		if h.obs != nil {
+			h.obs.ScrubCorrupt.Inc()
+		}
+		entry := ScrubEntry{Epoch: hs.Epoch, IsBase: hs.IsBase, Status: hs.Status, Detail: hs.Detail}
+		var rerr error
+		if hs.IsBase {
+			rerr = h.repairBase(&entry, hs)
+		} else {
+			rerr = h.repairEpoch(&entry, hs)
+		}
+		if rerr == nil {
+			rep.Repaired++
+			if h.obs != nil {
+				h.obs.ScrubRepaired.Inc()
+			}
+		} else {
+			rep.Unrepaired++
+			entry.Action = "unrepaired: " + rerr.Error()
+			if h.obs != nil {
+				h.obs.ScrubUnrepaired.Inc()
+			}
+		}
+		rep.Entries = append(rep.Entries, entry)
+	}
+	// Re-enqueue gave-up tier copies. The base job (if one is needed)
+	// ships the base image, so its manifest is loaded before the lock.
+	var baseMan *ckpt.Manifest
+	if ch, _, err := ckpt.LoadChainLenient(fs); err == nil && ch.Base != nil {
+		baseMan = ch.Base
+	}
+	h.requeueFailed(&rep, baseMan)
+	if h.obs != nil {
+		h.obs.Trace(obs.StageScrub, 0, -1, 0, int64(rep.Corrupt))
+	}
+	return rep, nil
+}
+
+// repairEpoch rebuilds one damaged epoch on L1 from the fastest lower
+// tier that still holds its pages: the damaged files are quarantined and
+// the epoch's segment and manifest rewritten through the normal
+// segment-then-manifest commit protocol, so a crash mid-repair leaves the
+// epoch unsealed (and the repair reruns) rather than half-healed.
+func (h *Hierarchy) repairEpoch(entry *ScrubEntry, hs ckpt.SegmentHealth) error {
+	fs := h.local.FS()
+	var ep *EpochData
+	var from string
+	var level int8
+	var probes []string
+	for li, t := range h.lower {
+		loaded, err := t.Load(hs.Epoch)
+		if err != nil {
+			probes = append(probes, fmt.Sprintf("%s: %v", t.Name(), err))
+			continue
+		}
+		ep, from, level = loaded, t.Name(), int8(li+1)
+		break
+	}
+	if ep == nil {
+		return fmt.Errorf("no lower tier holds epoch %d (%s)", hs.Epoch, strings.Join(probes, "; "))
+	}
+	// Preserve the dedup annotations when the old manifest still decodes;
+	// refs are pure accounting, so dropping them on a lost manifest is
+	// safe.
+	var refs []ckpt.PageRef
+	if hs.Status != ckpt.StatusManifestCorrupt {
+		if old, err := ckpt.ReadManifest(fs, hs.Epoch); err == nil {
+			refs = old.Refs
+		}
+	}
+	// Quarantine the damaged bytes (best effort: the rewrite publishes
+	// atomically over whatever remains, but preserving the evidence and
+	// clearing stale siblings keeps the directory honest).
+	if hs.Manifest != "" && hs.Status == ckpt.StatusManifestCorrupt {
+		_ = ckpt.Quarantine(fs, hs.Manifest)
+	}
+	if hs.Segment != "" && hs.Status == ckpt.StatusSegmentCorrupt {
+		_ = ckpt.Quarantine(fs, hs.Segment)
+	}
+	if _, err := ckpt.RewriteEpoch(fs, hs.Epoch, h.pageSize, ep.Pages, refs); err != nil {
+		return err
+	}
+	if h.obs != nil {
+		h.obs.Trace(obs.StageRepair, hs.Epoch, -1, level, int64(len(ep.Pages)))
+	}
+	entry.Action = "repaired from " + from
+	return nil
+}
+
+// repairBase re-folds a damaged compacted base from the per-epoch copies
+// the lower tiers kept (the compactor's fold gate guarantees every folded
+// epoch settled below before the fold, and lower tiers never collect).
+// Folding the physical records of every tier epoch up to the base's To,
+// oldest to newest, reproduces the base image exactly: a page whose
+// newest write was deduplicated is bit-identical to its newest physical
+// record by definition. Epochs absent from every lower tier are simply
+// unknown here; an epoch that is listed but unloadable aborts the repair
+// rather than publishing a base with a hole.
+func (h *Hierarchy) repairBase(entry *ScrubEntry, hs ckpt.SegmentHealth) error {
+	fs := h.local.FS()
+	var from, to uint64
+	if n, err := fmt.Sscanf(hs.Manifest, "base-%d-%d.json", &from, &to); err != nil || n != 2 {
+		return fmt.Errorf("unparseable base manifest name %q", hs.Manifest)
+	}
+	seen := map[uint64]bool{}
+	var epochs []uint64
+	for _, t := range h.lower {
+		es, err := t.Epochs()
+		if err != nil {
+			continue
+		}
+		for _, e := range es {
+			if e <= to && !seen[e] {
+				seen[e] = true
+				epochs = append(epochs, e)
+			}
+		}
+	}
+	if len(epochs) == 0 {
+		return fmt.Errorf("no lower tier holds any epoch of base [%d,%d]", from, to)
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	pages := map[int][]byte{}
+	var level int8
+	for _, e := range epochs {
+		var ep *EpochData
+		var probes []string
+		for li, t := range h.lower {
+			loaded, err := t.Load(e)
+			if err != nil {
+				probes = append(probes, fmt.Sprintf("%s: %v", t.Name(), err))
+				continue
+			}
+			ep, level = loaded, int8(li+1)
+			break
+		}
+		if ep == nil {
+			return fmt.Errorf("epoch %d of base [%d,%d] unloadable on every tier (%s)",
+				e, from, to, strings.Join(probes, "; "))
+		}
+		for id, data := range ep.Pages {
+			pages[id] = data
+		}
+	}
+	if hs.Status == ckpt.StatusManifestCorrupt {
+		_ = ckpt.Quarantine(fs, hs.Manifest)
+	}
+	if hs.Segment != "" && hs.Status == ckpt.StatusSegmentCorrupt {
+		_ = ckpt.Quarantine(fs, hs.Segment)
+	}
+	if _, err := ckpt.WriteBase(fs, from, to, h.pageSize, pages, 0); err != nil {
+		return err
+	}
+	if h.obs != nil {
+		h.obs.Trace(obs.StageRepair, to, -1, level, int64(len(pages)))
+	}
+	entry.Action = "repaired by re-folding lower-tier epochs"
+	return nil
+}
+
+// requeueFailed flips every gave-up tier copy back to draining and
+// re-enqueues its epoch at the lowest failed tier; the job cascades from
+// there, and tiers that already hold the epoch skip the store via their
+// holder check. baseMan (the committed base's ckpt manifest, may be nil)
+// lets a failed base promotion re-ship the base image.
+func (h *Hierarchy) requeueFailed(rep *ScrubReport, baseMan *ckpt.Manifest) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	requeue := func(m *EpochManifest, job drainJob) {
+		lowest := -1
+		copies := 0
+		for i := 1; i < len(m.Tiers); i++ {
+			tc := &m.Tiers[i]
+			if tc.State != StateFailed {
+				continue
+			}
+			tc.State = StateDraining
+			tc.Err = ""
+			copies++
+			if lowest == -1 {
+				lowest = i - 1
+			}
+			if h.obs != nil {
+				h.obs.FailedTierCopies.Add(-1)
+				h.obs.DrainRequeues.Inc()
+			}
+		}
+		if lowest == -1 {
+			return
+		}
+		h.pending++
+		h.enqueueLocked(lowest, job)
+		h.mirror(m)
+		rep.Requeued += copies
+		rep.Entries = append(rep.Entries, ScrubEntry{
+			Epoch:  m.Epoch,
+			IsBase: m.Base != nil,
+			Status: "drain-failed",
+			Action: "requeued",
+			Detail: fmt.Sprintf("tier copies re-enqueued: %d", copies),
+		})
+	}
+	for _, e := range h.epochs {
+		if h.superseded[e] {
+			continue
+		}
+		if m, ok := h.manifests[e]; ok {
+			requeue(m, drainJob{epoch: e})
+		}
+	}
+	if h.baseMan != nil && baseMan != nil && baseMan.Base != nil &&
+		h.baseMan.Base != nil && baseMan.Base.To == h.baseMan.Base.To {
+		requeue(h.baseMan, drainJob{epoch: baseMan.Epoch, base: baseMan, man: h.baseMan})
+	}
+}

@@ -44,6 +44,8 @@ type Link struct {
 	next    uint64 //aickpt:guardedby mu
 	serving uint64 //aickpt:guardedby mu
 
+	down bool //aickpt:guardedby mu (failure-injection state: link unreachable)
+
 	// stats, guarded by mu
 	messages  int64
 	bytes     int64         //aickpt:guardedby mu
@@ -106,6 +108,42 @@ func (l *Link) Transfer(n int64) {
 	if l.cfg.Latency > 0 {
 		l.env.Sleep(l.cfg.Latency)
 	}
+}
+
+// Fail marks the link unreachable: subsequent TryTransfer calls fail
+// immediately without consuming virtual time, modeling a partitioned node
+// or a dead storage path. Transfers already queued complete normally.
+func (l *Link) Fail() {
+	l.mu.Lock()
+	l.down = true
+	l.mu.Unlock()
+}
+
+// Heal reverses Fail.
+func (l *Link) Heal() {
+	l.mu.Lock()
+	l.down = false
+	l.mu.Unlock()
+}
+
+// Down reports whether the link is currently failed.
+func (l *Link) Down() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.down
+}
+
+// TryTransfer is Transfer with failure awareness: it returns false
+// immediately — consuming no virtual time — when the link is down at
+// admission, and otherwise performs the full transfer and returns true.
+// Tier drains use it so a partitioned peer surfaces as a retryable store
+// failure instead of a hang.
+func (l *Link) TryTransfer(n int64) bool {
+	if l.Down() {
+		return false
+	}
+	l.Transfer(n)
+	return true
 }
 
 // Stats is a snapshot of link usage counters.

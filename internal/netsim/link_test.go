@@ -109,3 +109,30 @@ func TestLinkRejectsBadConfig(t *testing.T) {
 	}()
 	NewLink(k, LinkConfig{Name: "bad"})
 }
+
+func TestLinkFailHeal(t *testing.T) {
+	k := sim.NewKernel()
+	l := NewLink(k, LinkConfig{Name: "nic", BytesPerSec: 1 << 20})
+	var downOK, upOK bool
+	var downCost time.Duration
+	k.Go("p", func() {
+		l.Fail()
+		start := k.Now()
+		downOK = l.TryTransfer(1 << 20)
+		downCost = k.Now() - start
+		l.Heal()
+		upOK = l.TryTransfer(1 << 20)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if downOK || downCost != 0 {
+		t.Errorf("down link: ok=%v cost=%v, want immediate failure", downOK, downCost)
+	}
+	if !upOK {
+		t.Error("healed link refused a transfer")
+	}
+	if s := l.Stats(); s.Messages != 1 || s.Bytes != 1<<20 {
+		t.Errorf("stats after one failed and one real transfer: %+v", s)
+	}
+}

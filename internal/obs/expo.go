@@ -46,6 +46,11 @@ func (m *Metrics) counterRefs() []counterRef {
 		{"aickpt_multilevel_epochs_drained_total", "", "epochs retired from the drain pipeline", &m.EpochsDrained},
 		{"aickpt_multilevel_restore_epochs_total", "", "epochs read during tier-aware restore", &m.RestoreEpochs},
 		{"aickpt_multilevel_restore_pages_total", "", "pages read during tier-aware restore", &m.RestorePages},
+		{"aickpt_scrub_segments_total", "", "chain entries verified by scrub passes", &m.ScrubSegments},
+		{"aickpt_scrub_corrupt_total", "", "damaged chain entries found by scrub", &m.ScrubCorrupt},
+		{"aickpt_scrub_repaired_total", "", "damaged entries rebuilt from a redundant tier", &m.ScrubRepaired},
+		{"aickpt_scrub_unrepaired_total", "", "damaged entries no tier could rebuild", &m.ScrubUnrepaired},
+		{"aickpt_multilevel_drain_requeues_total", "", "gave-up tier copies re-enqueued by scrub", &m.DrainRequeues},
 		{"aickpt_compact_compactions_total", "", "compaction passes that committed a base", &m.Compactions},
 		{"aickpt_compact_epochs_folded_total", "", "epochs folded into bases", &m.EpochsFolded},
 		{"aickpt_compact_reclaimed_bytes_total", "", "garbage bytes collected", &m.ReclaimedBytes},
@@ -67,6 +72,7 @@ func (m *Metrics) gaugeRefs() []gaugeRef {
 	refs := []gaugeRef{
 		{"aickpt_core_cow_in_use", "", "COW slots currently held", &m.CowInUse},
 		{"aickpt_ckpt_staging_depth", "", "records staged ahead of the segment writer", &m.StagingDepth},
+		{"aickpt_multilevel_failed_tier_copies", "", "tier copies currently past their retry budget", &m.FailedTierCopies},
 	}
 	for t := range m.DrainQueueDepth {
 		if g := &m.DrainQueueDepth[t]; t == 0 || g.Load() != 0 {

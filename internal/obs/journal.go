@@ -53,6 +53,12 @@ const (
 	// StageRestore: an epoch was read back during restore
 	// (value = pages restored).
 	StageRestore
+	// StageScrub: a scrub pass verified the chain
+	// (value = damaged entries found).
+	StageScrub
+	// StageRepair: a damaged chain entry was rebuilt from a lower tier
+	// (value = pages rewritten; tier = the tier that supplied them).
+	StageRepair
 )
 
 // String implements fmt.Stringer.
@@ -86,6 +92,10 @@ func (s Stage) String() string {
 		return "compact"
 	case StageRestore:
 		return "restore"
+	case StageScrub:
+		return "scrub"
+	case StageRepair:
+		return "repair"
 	default:
 		return "unknown"
 	}

@@ -259,6 +259,14 @@ type Metrics struct {
 	DrainQueueDepth [MaxTiers]Gauge     // per-lower-tier drain queue depth
 	PromoteNs       [MaxTiers]Histogram // per-lower-tier promotion latency
 
+	// Scrub / self-heal metrics (internal/multilevel scrub passes).
+	ScrubSegments    Counter // chain entries verified by scrub passes
+	ScrubCorrupt     Counter // damaged entries found (manifest or segment)
+	ScrubRepaired    Counter // damaged entries rebuilt from a redundant tier
+	ScrubUnrepaired  Counter // damaged entries no tier could rebuild
+	DrainRequeues    Counter // gave-up tier copies re-enqueued by scrub
+	FailedTierCopies Gauge   // tier copies currently past their retry budget
+
 	// Compaction metrics (internal/compact).
 	FoldNs         Histogram // duration of compaction passes that folded
 	Compactions    Counter   // passes that committed a new base

@@ -44,12 +44,19 @@ func getOnly(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// ScrubFunc runs an on-demand integrity scrub and returns its
+// JSON-serializable report. The owner of the Metrics supplies it when the
+// backing store supports scrubbing (the Runtime wires Runtime.Scrub here).
+type ScrubFunc func() (any, error)
+
 // Handler returns the debug mux for m, usable standalone (e.g. to mount
 // under an existing server) or via StartServer. epochs optionally
 // supplies the flight-recorder payload for /epochs — the owner of the
 // Metrics (the Runtime, a bench harness) assembles scorecards and span
-// trees into EpochRecords on demand; nil serves an empty list.
-func Handler(m *Metrics, epochs func() []EpochRecord) http.Handler {
+// trees into EpochRecords on demand; nil serves an empty list. scrub,
+// when non-nil, backs the POST-only /scrub endpoint (scrubbing repairs
+// files, so unlike the read-only endpoints it is a mutation API).
+func Handler(m *Metrics, epochs func() []EpochRecord, scrub ScrubFunc) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", getOnly(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -88,6 +95,26 @@ func Handler(m *Metrics, epochs func() []EpochRecord) http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(records)
 	}))
+	mux.HandleFunc("/scrub", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			http.Error(w, "method not allowed (scrub mutates the store: POST)", http.StatusMethodNotAllowed)
+			return
+		}
+		if scrub == nil {
+			http.Error(w, "scrubbing not supported by this runtime's store", http.StatusNotImplemented)
+			return
+		}
+		report, err := scrub()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(report)
+	})
 	// pprof must be registered explicitly: the mux above is not the
 	// DefaultServeMux the pprof package self-registers on.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -99,14 +126,14 @@ func Handler(m *Metrics, epochs func() []EpochRecord) http.Handler {
 }
 
 // StartServer listens on addr (e.g. "127.0.0.1:0") and serves the debug
-// endpoints for m in a background goroutine. epochs feeds /epochs (see
-// Handler); nil serves an empty list.
-func StartServer(addr string, m *Metrics, epochs func() []EpochRecord) (*Server, error) {
+// endpoints for m in a background goroutine. epochs feeds /epochs and
+// scrub backs POST /scrub (see Handler); either may be nil.
+func StartServer(addr string, m *Metrics, epochs func() []EpochRecord, scrub ScrubFunc) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: Handler(m, epochs), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: Handler(m, epochs, scrub), ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln)
 	return &Server{ln: ln, srv: srv}, nil
 }

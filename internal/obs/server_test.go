@@ -18,7 +18,7 @@ func testMetrics() *Metrics {
 }
 
 func TestHandlerRejectsNonGet(t *testing.T) {
-	h := Handler(testMetrics(), nil)
+	h := Handler(testMetrics(), nil, nil)
 	for _, route := range []string{"/metrics", "/snapshot", "/trace", "/epochs"} {
 		for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete} {
 			req := httptest.NewRequest(method, route, strings.NewReader("x"))
@@ -35,7 +35,7 @@ func TestHandlerRejectsNonGet(t *testing.T) {
 }
 
 func TestHandlerUnknownRoute(t *testing.T) {
-	h := Handler(testMetrics(), nil)
+	h := Handler(testMetrics(), nil, nil)
 	req := httptest.NewRequest(http.MethodGet, "/nope", nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
@@ -48,7 +48,7 @@ func TestHandlerEpochs(t *testing.T) {
 	m := testMetrics()
 	// Without a provider the endpoint serves an empty list, not null.
 	rec := httptest.NewRecorder()
-	Handler(m, nil).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/epochs", nil))
+	Handler(m, nil, nil).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/epochs", nil))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("GET /epochs = %d", rec.Code)
 	}
@@ -63,7 +63,7 @@ func TestHandlerEpochs(t *testing.T) {
 		)
 	}
 	rec = httptest.NewRecorder()
-	Handler(m, provider).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/epochs", nil))
+	Handler(m, provider, nil).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/epochs", nil))
 	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
 		t.Fatalf("Content-Type = %q", ct)
 	}
@@ -90,7 +90,7 @@ func TestHandlerSnapshotRace(t *testing.T) {
 	epochs := func() []EpochRecord {
 		return BuildEpochRecords(nil, m.Spans.Snapshot())
 	}
-	h := Handler(m, epochs)
+	h := Handler(m, epochs, nil)
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)

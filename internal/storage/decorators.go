@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/compress"
 	"repro/internal/erasure"
@@ -108,6 +109,65 @@ func (e *ErasureStore) EndEpoch(epoch uint64) error {
 		}
 	}
 	return nil
+}
+
+// FaultyStore injects deterministic failures into a backend pipeline: a
+// 1-based operation counter over WritePage/EndEpoch calls, with individual
+// operations failing per plan and an optional hard-stop index after which
+// every operation fails — the storage-decorator counterpart of
+// internal/faultfs, for fault testing pipelines that do not bottom out in
+// a ckpt.FS. Counting is mutex-serialized, so it composes with concurrent
+// committer workers (the op→call mapping is deterministic only under the
+// virtual-time kernel's scheduler).
+type FaultyStore struct {
+	Next Backend
+	// FailOps fails individual operations transiently without forwarding.
+	FailOps map[int64]error
+	// DeadAfterOp fails every operation with an index greater than it
+	// (0 = never): a crash-stopped or unreachable backend.
+	DeadAfterOp int64
+
+	mu  sync.Mutex
+	ops int64
+}
+
+// ErrStoreDead is returned by every FaultyStore operation past DeadAfterOp.
+var ErrStoreDead = fmt.Errorf("storage: backend dead (fault injection)")
+
+func (f *FaultyStore) step() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	if f.DeadAfterOp != 0 && f.ops > f.DeadAfterOp {
+		return ErrStoreDead
+	}
+	if err, ok := f.FailOps[f.ops]; ok {
+		return err
+	}
+	return nil
+}
+
+// Ops returns the number of operations counted so far.
+func (f *FaultyStore) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// WritePage implements Backend.
+func (f *FaultyStore) WritePage(epoch uint64, page int, data []byte, size int) error {
+	if err := f.step(); err != nil {
+		return err
+	}
+	return f.Next.WritePage(epoch, page, data, size)
+}
+
+// EndEpoch implements Backend.
+func (f *FaultyStore) EndEpoch(epoch uint64) error {
+	if err := f.step(); err != nil {
+		return err
+	}
+	return f.Next.EndEpoch(epoch)
 }
 
 // Reconstruct reads one page's shards back from PageReader backends

@@ -1,0 +1,33 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestFaultyStoreTransientAndDead(t *testing.T) {
+	boom := fmt.Errorf("flaky")
+	f := &FaultyStore{Next: NullStore{}, FailOps: map[int64]error{2: boom}, DeadAfterOp: 4}
+	if err := f.WritePage(1, 0, nil, 8); err != nil { // op 1
+		t.Fatal(err)
+	}
+	if err := f.WritePage(1, 1, nil, 8); !errors.Is(err, boom) { // op 2: transient
+		t.Fatalf("op 2: %v, want flaky", err)
+	}
+	if err := f.EndEpoch(1); err != nil { // op 3: recovered
+		t.Fatal(err)
+	}
+	if err := f.WritePage(2, 0, nil, 8); err != nil { // op 4: last live op
+		t.Fatal(err)
+	}
+	if err := f.EndEpoch(2); !errors.Is(err, ErrStoreDead) { // op 5: dead
+		t.Fatalf("op 5: %v, want dead", err)
+	}
+	if err := f.WritePage(3, 0, nil, 8); !errors.Is(err, ErrStoreDead) {
+		t.Fatalf("op 6: %v, want dead", err)
+	}
+	if f.Ops() != 6 {
+		t.Fatalf("ops = %d, want 6", f.Ops())
+	}
+}

@@ -1,0 +1,170 @@
+package aickpt
+
+import (
+	"errors"
+
+	"repro/internal/ckpt"
+	"repro/internal/multilevel"
+)
+
+// Segment health statuses reported by Verify and in ScrubEntry.Status
+// (mirrors of the internal ckpt statuses).
+const (
+	// HealthOK: manifest decoded and every segment record verified.
+	HealthOK = ckpt.StatusOK
+	// HealthTornTail: a manifest torn by a mid-crash write, newer than
+	// every intact chain entry — the epoch never sealed, so this is a
+	// harmless crash artifact, not damage.
+	HealthTornTail = ckpt.StatusTornTail
+	// HealthManifestCorrupt: an interior manifest failed to decode — the
+	// epoch was provably sealed once, so this is real damage.
+	HealthManifestCorrupt = ckpt.StatusManifestCorrupt
+	// HealthSegmentMissing: a sealed manifest whose segment file is gone.
+	HealthSegmentMissing = ckpt.StatusSegmentMissing
+	// HealthSegmentCorrupt: a segment whose records fail verification
+	// (bad magic, truncated tail, payload hash mismatch, record count).
+	HealthSegmentCorrupt = ckpt.StatusSegmentCorrupt
+)
+
+// SegmentHealth is one Verify finding: the health of one chain entry.
+type SegmentHealth struct {
+	// Manifest / Segment are the entry's file names (Segment is empty for
+	// epochs with no physical records or unreadable manifests).
+	Manifest string `json:"manifest"`
+	Segment  string `json:"segment,omitempty"`
+	// Epoch is the entry's epoch (a base's covering range ends here).
+	Epoch uint64 `json:"epoch"`
+	// IsBase marks a consolidated base entry.
+	IsBase bool `json:"is_base,omitempty"`
+	// Status is one of the Health* constants.
+	Status string `json:"status"`
+	// Detail carries the verification error for non-ok statuses.
+	Detail string `json:"detail,omitempty"`
+	// Damaged reports whether the entry needs repair (torn tails do not:
+	// they were never sealed).
+	Damaged bool `json:"damaged,omitempty"`
+}
+
+// ScrubEntry is one scrub finding and what the pass did about it.
+type ScrubEntry struct {
+	Epoch  uint64 `json:"epoch"`
+	IsBase bool   `json:"is_base,omitempty"`
+	// Status is the health status that triggered the entry (or
+	// "drain-failed" for requeued tier copies).
+	Status string `json:"status"`
+	// Action records the outcome: "repaired from <tier>", "requeued",
+	// "unrepaired: <reason>", or "" for torn tails (nothing to do).
+	Action string `json:"action,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// ScrubReport summarizes one scrub pass.
+type ScrubReport struct {
+	// Checked counts the chain entries verified.
+	Checked int `json:"checked"`
+	// Corrupt counts the damaged entries found (torn tails excluded).
+	Corrupt int `json:"corrupt"`
+	// Repaired / Unrepaired split Corrupt by outcome. Without redundant
+	// tiers every damaged entry is Unrepaired (verify-only scrub).
+	Repaired   int `json:"repaired"`
+	Unrepaired int `json:"unrepaired"`
+	// Requeued counts tier copies that had exhausted their drain retry
+	// budget and were re-enqueued for promotion.
+	Requeued int          `json:"requeued"`
+	Entries  []ScrubEntry `json:"entries,omitempty"`
+}
+
+func scrubReportToPublic(rep multilevel.ScrubReport) ScrubReport {
+	out := ScrubReport{
+		Checked:    rep.Checked,
+		Corrupt:    rep.Corrupt,
+		Repaired:   rep.Repaired,
+		Unrepaired: rep.Unrepaired,
+		Requeued:   rep.Requeued,
+	}
+	for _, e := range rep.Entries {
+		out.Entries = append(out.Entries, ScrubEntry{
+			Epoch: e.Epoch, IsBase: e.IsBase, Status: e.Status, Action: e.Action, Detail: e.Detail,
+		})
+	}
+	return out
+}
+
+func healthToPublic(hs []ckpt.SegmentHealth) []SegmentHealth {
+	out := make([]SegmentHealth, len(hs))
+	for i, h := range hs {
+		out[i] = SegmentHealth{
+			Manifest: h.Manifest, Segment: h.Segment, Epoch: h.Epoch, IsBase: h.IsBase,
+			Status: h.Status, Detail: h.Detail, Damaged: h.Damaged(),
+		}
+	}
+	return out
+}
+
+// Scrub verifies every chain entry on the hierarchy's local tier and
+// self-heals what it can: damaged epochs are quarantined and rebuilt from
+// the fastest lower tier still holding them, a damaged compacted base is
+// re-folded from the per-epoch copies the lower tiers kept, and tier
+// copies that exhausted their drain retry budget are re-enqueued for
+// promotion (so a tier that recovered catches back up). It is safe to run
+// concurrently with checkpoints and active drains.
+func (h *Hierarchy) Scrub() (ScrubReport, error) {
+	rep, err := h.inner.Scrub()
+	return scrubReportToPublic(rep), err
+}
+
+// Scrub verifies the runtime's checkpoint chain and repairs what its
+// store allows. With Options.Tiers it is the self-healing hierarchy scrub
+// (see Hierarchy.Scrub); with Options.Dir there is no redundant tier to
+// repair from, so damage is detected, reported and counted Unrepaired but
+// files are left untouched. With a custom Store scrubbing is unsupported.
+func (rt *Runtime) Scrub() (ScrubReport, error) {
+	switch {
+	case rt.hier != nil:
+		return rt.hier.Scrub()
+	case rt.fs != nil:
+		health, err := ckpt.VerifyChain(rt.fs)
+		if err != nil {
+			return ScrubReport{}, err
+		}
+		rep := ScrubReport{Checked: len(health)}
+		if rt.metrics != nil {
+			rt.metrics.ScrubSegments.Add(uint64(len(health)))
+		}
+		for _, hs := range health {
+			e := ScrubEntry{Epoch: hs.Epoch, IsBase: hs.IsBase, Status: hs.Status, Detail: hs.Detail}
+			if hs.Damaged() {
+				rep.Corrupt++
+				rep.Unrepaired++
+				e.Action = "unrepaired: no redundant tier to rebuild from"
+				if rt.metrics != nil {
+					rt.metrics.ScrubCorrupt.Inc()
+					rt.metrics.ScrubUnrepaired.Inc()
+				}
+			} else if hs.Status == HealthOK {
+				continue
+			}
+			rep.Entries = append(rep.Entries, e)
+		}
+		return rep, nil
+	default:
+		return ScrubReport{}, errors.New("aickpt: Scrub needs a repository store (Options.Dir or Options.Tiers)")
+	}
+}
+
+// Verify runs a read-only integrity check over a checkpoint directory —
+// no runtime needed, nothing is modified: every chain entry's manifest is
+// decoded and every live segment's records are re-read and hash-verified.
+// Corrupt manifests are classified as torn tails (crash artifacts, not
+// damage) or interior corruption exactly as restore would classify them.
+func Verify(dir string) ([]SegmentHealth, error) {
+	fs, err := ckpt.NewOSFS(dir)
+	if err != nil {
+		return nil, err
+	}
+	health, err := ckpt.VerifyChain(fs)
+	if err != nil {
+		return nil, err
+	}
+	return healthToPublic(health), nil
+}
