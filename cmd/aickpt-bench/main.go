@@ -25,8 +25,8 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "synthetic", "scenario: synthetic (Fig 2 benchmark), tiers (multi-level hierarchy under failures), chain (dedup + compaction vs chain growth), parallel (commit-pipeline worker scaling), hotpath (real-time commit-path throughput and blocked time)")
-	jsonPath := flag.String("json", "", "append machine-readable result records to this JSON file (hotpath, parallel and tiers scenarios)")
+	scenario := flag.String("scenario", "synthetic", "scenario: synthetic (Fig 2 benchmark), tiers (multi-level hierarchy under failures), chain (dedup + compaction vs chain growth), parallel (commit-pipeline worker scaling), hotpath (real-time commit-path throughput and blocked time), restore (restore-pipeline worker scaling + GF kernel)")
+	jsonPath := flag.String("json", "", "append machine-readable result records to this JSON file (hotpath, parallel, tiers and restore scenarios)")
 	hotPages := flag.Int("hotpath-pages", 2048, "hotpath scenario: working-set pages (4 KB each)")
 	hotEpochs := flag.Int("hotpath-epochs", 8, "hotpath scenario: measured checkpoints per sweep point")
 	hotWorkers := flag.Int("hotpath-workers", 1, "hotpath scenario: commit workers")
@@ -46,7 +46,16 @@ func main() {
 	parServers := flag.Int("parallel-servers", 8, "parallel scenario: simulated PFS servers")
 	parInterfere := flag.Int("parallel-interfere", 32, "parallel scenario: pages rewritten mid-flush per epoch")
 	parWorkers := flag.String("parallel-workers", "1,2,4,8", "parallel scenario: comma-separated commit worker counts (first is the baseline)")
+	resEpochs := flag.Int("restore-epochs", 48, "restore scenario: chain width (sealed epochs)")
+	resPages := flag.Int("restore-pages", 64, "restore scenario: pages rewritten per epoch (4 KB each)")
+	resServers := flag.Int("restore-servers", 8, "restore scenario: simulated PFS servers")
+	resWorkers := flag.String("restore-workers", "1,2,4,8", "restore scenario: comma-separated epoch-loader counts (first is the baseline)")
 	flag.Parse()
+
+	if *scenario == "restore" {
+		restoreScenario(*resEpochs, *resPages, *resServers, *resWorkers, *jsonPath)
+		return
+	}
 
 	if *scenario == "chain" {
 		chainScenario(*chainEpochs, *chainDepth, *chainPages)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -73,6 +74,52 @@ func runEpochs(target string) {
 			fmt.Println()
 		}
 		fmt.Println()
+	}
+	printRestoreByTier(records)
+}
+
+// printRestoreByTier rolls the records' restore stages up per tier: how
+// many epochs each tier served during the restore and how much of the
+// restore's critical path it accounts for. Silent when the run recorded
+// no restore spans.
+func printRestoreByTier(records []aickpt.EpochRecord) {
+	type agg struct {
+		epochs int
+		durNs  int64
+	}
+	byTier := map[int8]*agg{}
+	var total int64
+	for _, r := range records {
+		for _, c := range r.Critical {
+			if c.Stage != "restore" {
+				continue
+			}
+			a := byTier[c.Tier]
+			if a == nil {
+				a = &agg{}
+				byTier[c.Tier] = a
+			}
+			a.epochs++
+			a.durNs += c.DurNs
+			total += c.DurNs
+		}
+	}
+	if total == 0 {
+		return
+	}
+	tiers := make([]int, 0, len(byTier))
+	for tier := range byTier {
+		tiers = append(tiers, int(tier))
+	}
+	sort.Ints(tiers)
+	fmt.Println("restore critical path by tier:")
+	for _, tier := range tiers {
+		a := byTier[int8(tier)]
+		fmt.Printf("  tier %d  %3d epochs  %12s total  %12s avg  (%.0f%% of restore time)\n",
+			tier, a.epochs,
+			time.Duration(a.durNs).Round(time.Microsecond),
+			time.Duration(a.durNs/int64(a.epochs)).Round(time.Microsecond),
+			100*float64(a.durNs)/float64(total))
 	}
 }
 

@@ -4,7 +4,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/compress"
 	"repro/internal/util"
@@ -24,13 +26,29 @@ type Image struct {
 	SegmentsRead int
 }
 
-// PageOr returns the image content of page, or a zero page if it was never
-// checkpointed.
+// sharedZero returns a read-only all-zero slice of at least n bytes,
+// grown (and republished) on demand. Callers must never write to it.
+var sharedZero atomic.Pointer[[]byte]
+
+func zeroPage(n int) []byte {
+	if p := sharedZero.Load(); p != nil && len(*p) >= n {
+		return (*p)[:n:n]
+	}
+	b := make([]byte, n)
+	sharedZero.Store(&b)
+	return b
+}
+
+// PageOr returns the image content of page, or a shared read-only zero
+// page if it was never checkpointed. The zero page is shared by every
+// caller and every Image: treat the returned slice as immutable (copy it
+// before writing). Misses are allocation-free, so sweeping a sparse image
+// page by page costs nothing beyond the map lookups.
 func (im *Image) PageOr(page int) []byte {
 	if d, ok := im.Pages[page]; ok {
 		return d
 	}
-	return make([]byte, im.PageSize)
+	return zeroPage(im.PageSize)
 }
 
 // EpochInfo summarizes a sealed epoch or base for inspection tools.
@@ -170,14 +188,52 @@ func VisitSegment(fs FS, m Manifest, visit func(page int, data []byte)) error {
 	return readSegment(fs, m, visit)
 }
 
+// RestoreOptions tunes Restore.
+type RestoreOptions struct {
+	// Workers is the number of concurrent segment readers: each worker
+	// parses, hash-verifies and codec-decodes whole segments (the chain's
+	// base and epochs) while the caller folds finished segments into the
+	// image in strict chain order, so the result is bit-identical to a
+	// serial restore for any worker count. 1 restores serially on the
+	// calling goroutine (the historical behavior); 0 picks
+	// min(GOMAXPROCS, 8).
+	Workers int
+}
+
+// restoreWorkers resolves the worker-count option against the chain width:
+// no more workers than segments, and min(GOMAXPROCS, 8) by default.
+func restoreWorkers(opt RestoreOptions, segments int) int {
+	w := opt.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+		if w > 8 {
+			w = 8
+		}
+	}
+	if w > segments {
+		w = segments
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // Restore folds the chain (newest committed base, then every live sealed
 // epoch, oldest to newest, newest content wins) into a memory image.
 // Unsealed segments — a checkpoint or compaction interrupted by a crash —
 // are ignored, which is exactly the recovery semantics of asynchronous
 // checkpointing: the restart point is the last *completed* checkpoint. With
 // a compacted chain the fold reads at most depth segments (the base plus
-// the epochs after it) instead of the whole history.
+// the epochs after it) instead of the whole history. Segments are read by
+// a small worker pool (see RestoreOptions.Workers); use RestoreWith to
+// control the width.
 func Restore(fs FS) (*Image, error) {
+	return RestoreWith(fs, RestoreOptions{})
+}
+
+// RestoreWith is Restore with explicit options.
+func RestoreWith(fs FS, opt RestoreOptions) (*Image, error) {
 	ch, err := LoadChain(fs)
 	if err != nil {
 		return nil, err
@@ -185,26 +241,85 @@ func Restore(fs FS) (*Image, error) {
 	if ch.Base == nil && len(ch.Epochs) == 0 {
 		return nil, fmt.Errorf("ckpt: no sealed epochs to restore from")
 	}
+	entries := make([]Manifest, 0, 1+len(ch.Epochs))
+	if ch.Base != nil {
+		entries = append(entries, *ch.Base)
+	}
+	entries = append(entries, ch.Epochs...)
+
 	im := &Image{PageSize: ch.PageSize, Pages: map[int][]byte{}}
-	fold := func(m Manifest) error {
+	fold := func(m Manifest, pages map[int][]byte) {
 		if m.PageCount > 0 {
 			im.SegmentsRead++
 		}
-		return readSegment(fs, m, func(page int, data []byte) {
+		for page, data := range pages {
 			im.Pages[page] = data
-		})
-	}
-	if ch.Base != nil {
-		if err := fold(*ch.Base); err != nil {
-			return nil, err
 		}
-		im.Epoch = ch.Base.Base.To
-	}
-	for _, m := range ch.Epochs {
-		if err := fold(m); err != nil {
-			return nil, err
+		if m.Base != nil {
+			im.Epoch = m.Base.To
+		} else {
+			im.Epoch = m.Epoch
 		}
-		im.Epoch = m.Epoch
+	}
+
+	if restoreWorkers(opt, len(entries)) == 1 {
+		for _, m := range entries {
+			pages := make(map[int][]byte, m.PageCount)
+			if err := readSegment(fs, m, func(page int, data []byte) {
+				pages[page] = data
+			}); err != nil {
+				return nil, err
+			}
+			fold(m, pages)
+		}
+		return im, nil
+	}
+	return restoreParallel(fs, entries, im, fold, restoreWorkers(opt, len(entries)))
+}
+
+// restoreParallel fans segment reads out across workers. Workers claim
+// entries in chain order from an atomic cursor and deliver each parsed
+// segment through its own buffered slot, so no worker ever blocks on the
+// folder; the folder consumes slots in chain order, which reproduces the
+// serial newest-epoch-wins fold (and the serial error: the first failing
+// entry in chain order wins, later reads are cancelled via the stop flag).
+func restoreParallel(fs FS, entries []Manifest, im *Image, fold func(Manifest, map[int][]byte), workers int) (*Image, error) {
+	type segResult struct {
+		pages map[int][]byte
+		err   error
+	}
+	results := make([]chan segResult, len(entries))
+	for i := range results {
+		results[i] = make(chan segResult, 1)
+	}
+	var cursor atomic.Int64
+	var stop atomic.Bool
+	for w := 0; w < workers; w++ {
+		go func() {
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(entries) || stop.Load() {
+					return
+				}
+				m := entries[i]
+				pages := make(map[int][]byte, m.PageCount)
+				err := readSegment(fs, m, func(page int, data []byte) {
+					pages[page] = data
+				})
+				if err != nil {
+					pages = nil
+				}
+				results[i] <- segResult{pages: pages, err: err}
+			}
+		}()
+	}
+	for i, m := range entries {
+		r := <-results[i]
+		if r.err != nil {
+			stop.Store(true)
+			return nil, r.err
+		}
+		fold(m, r.pages)
 	}
 	return im, nil
 }

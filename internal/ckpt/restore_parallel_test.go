@@ -1,0 +1,206 @@
+package ckpt
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/util"
+)
+
+// buildTestChain seals epochs 1..epochs with overlapping dirty sets —
+// repeated content (dedup refs when enabled), page overwrites (newest-wins
+// folding), and fresh pages — returning the FS holding the chain.
+func buildTestChain(t *testing.T, epochs, pageSize int, codec compress.Codec, dedup bool) *MemFS {
+	t.Helper()
+	fs := &MemFS{}
+	r := NewRepository(fs, pageSize)
+	r.SetCodec(codec)
+	r.SetDedup(dedup)
+	for e := uint64(1); e <= uint64(epochs); e++ {
+		for p := 0; p < 8; p++ {
+			data := make([]byte, pageSize)
+			switch {
+			case p%3 == 0:
+				// Same content every epoch: dedup elides it as a ref.
+				for i := range data {
+					data[i] = byte(p + 1)
+				}
+			default:
+				for i := range data {
+					data[i] = byte(int(e)*31 + p + i)
+				}
+			}
+			if err := r.WritePage(e, int(e)%4*8+p, data, pageSize); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := r.EndEpoch(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fs
+}
+
+// compactPrefix folds epochs [1, to] into a committed base so the chain
+// exercises the base-first fold order.
+func compactPrefix(t *testing.T, fs FS, to uint64, pageSize int, codec uint8) {
+	t.Helper()
+	ch, err := LoadChain(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages := map[int][]byte{}
+	for _, m := range ch.Epochs {
+		if m.Epoch > to {
+			break
+		}
+		if err := VisitSegment(fs, m, func(page int, data []byte) {
+			pages[page] = append([]byte(nil), data...)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := WriteBase(fs, 1, to, pageSize, pages, codec); err != nil {
+		t.Fatal(err)
+	}
+	ch, err = LoadChain(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	GCSuperseded(fs, ch)
+}
+
+func imagesEqual(a, b *Image) error {
+	if a.Epoch != b.Epoch {
+		return fmt.Errorf("epoch %d != %d", a.Epoch, b.Epoch)
+	}
+	if a.SegmentsRead != b.SegmentsRead {
+		return fmt.Errorf("segments read %d != %d", a.SegmentsRead, b.SegmentsRead)
+	}
+	if len(a.Pages) != len(b.Pages) {
+		return fmt.Errorf("page count %d != %d", len(a.Pages), len(b.Pages))
+	}
+	for p, d := range a.Pages {
+		if !bytes.Equal(d, b.Pages[p]) {
+			return fmt.Errorf("page %d content differs", p)
+		}
+	}
+	return nil
+}
+
+// Parallel restore must be bit-identical to the serial fold for every
+// worker count, across dedup refs, compacted bases and codec on/off.
+func TestRestoreParallelBitIdentity(t *testing.T) {
+	const pageSize = 128
+	for _, tc := range []struct {
+		name  string
+		codec compress.Codec
+		dedup bool
+		base  bool
+	}{
+		{"plain", compress.None, false, false},
+		{"dedup", compress.None, true, false},
+		{"flate", compress.Flate, false, false},
+		{"flate-dedup-base", compress.Flate, true, true},
+		{"dedup-base", compress.None, true, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := buildTestChain(t, 12, pageSize, tc.codec, tc.dedup)
+			if tc.base {
+				compactPrefix(t, fs, 6, pageSize, uint8(tc.codec))
+			}
+			want, err := RestoreWith(fs, RestoreOptions{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for workers := 1; workers <= 8; workers++ {
+				got, err := RestoreWith(fs, RestoreOptions{Workers: workers})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if err := imagesEqual(want, got); err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+			}
+		})
+	}
+}
+
+// A corrupt interior segment must surface the same error (the first
+// failing entry in chain order) at every worker count.
+func TestRestoreParallelErrorMatchesSerial(t *testing.T) {
+	const pageSize = 128
+	fs := buildTestChain(t, 8, pageSize, compress.None, false)
+	// Corrupt epoch 4's segment payload (flip a byte past the header).
+	name := segmentName(4)
+	f, err := fs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	data[30] ^= 0xff
+	w, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, serialErr := RestoreWith(fs, RestoreOptions{Workers: 1})
+	if serialErr == nil {
+		t.Fatal("serial restore of corrupt chain succeeded")
+	}
+	for workers := 2; workers <= 8; workers += 2 {
+		_, err := RestoreWith(fs, RestoreOptions{Workers: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: restore of corrupt chain succeeded", workers)
+		}
+		if err.Error() != serialErr.Error() {
+			t.Fatalf("workers=%d: error %q, serial %q", workers, err, serialErr)
+		}
+	}
+}
+
+// PageOr misses must return the shared zero page without allocating.
+func TestAllocGatePageOrMiss(t *testing.T) {
+	if util.RaceEnabled {
+		t.Skip("race instrumentation allocates; gate runs in non-race CI step")
+	}
+	im := &Image{PageSize: 4096, Pages: map[int][]byte{}}
+	im.PageOr(1) // warm the shared zero page
+	allocs := testing.AllocsPerRun(100, func() {
+		if len(im.PageOr(2)) != 4096 {
+			t.Fatal("short zero page")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("PageOr miss allocates %v times per call, want 0", allocs)
+	}
+}
+
+// The zero page is shared: both misses see the same backing array and it
+// must stay all-zero.
+func TestPageOrSharedZero(t *testing.T) {
+	im := &Image{PageSize: 64, Pages: map[int][]byte{}}
+	a := im.PageOr(1)
+	b := im.PageOr(2)
+	if &a[0] != &b[0] {
+		t.Error("PageOr misses should share one zero page")
+	}
+	for i, v := range a {
+		if v != 0 {
+			t.Fatalf("zero page dirty at %d: %d", i, v)
+		}
+	}
+}

@@ -49,8 +49,11 @@ func gfDiv(a, b byte) byte {
 
 func gfInv(a byte) byte { return gfDiv(1, a) }
 
-// mulSlice computes dst[i] ^= c * src[i] for all i.
-func mulAddSlice(dst, src []byte, c byte) {
+// mulAddSliceRef computes dst[i] ^= c * src[i] for all i, one gfMul-style
+// log/antilog pair per byte. Encode and Decode now run the table-driven
+// kernel in kernel.go; this reference survives as the oracle for the
+// exhaustive equivalence sweep and the baseline for the GF(256) benchmark.
+func mulAddSliceRef(dst, src []byte, c byte) {
 	if c == 0 {
 		return
 	}

@@ -1,0 +1,72 @@
+//go:build amd64
+
+package erasure
+
+import "sync/atomic"
+
+// SSSE3 nibble-table fast path. PSHUFB performs sixteen parallel 4-bit
+// table lookups per instruction, so c*s is computed as
+// tLo[s&0x0f] ^ tHi[s>>4] across a whole XMM register at once — the same
+// decomposition the portable row kernel does one byte at a time. The two
+// 16-entry tables are derived from the coefficient exactly like the
+// 256-byte row and cached per Coder under the same lock-free discipline.
+
+// nibTab packs the two 16-entry lookup tables: bytes 0..15 map the low
+// nibble (c*n), bytes 16..31 the high nibble (c*(n<<4)).
+type nibTab [32]byte
+
+type accelState struct {
+	nibs [256]atomic.Pointer[nibTab]
+}
+
+// hasSSSE3 is set at init from CPUID leaf 1 ECX bit 9. The Go amd64
+// baseline (GOAMD64=v1) does not guarantee SSSE3, so the kernel is gated
+// at runtime; in practice every x86-64 CPU since ~2006 has it.
+var hasSSSE3 = cpuidFeatures()&(1<<9) != 0
+
+// cpuidFeatures returns ECX of CPUID leaf 1 (implemented in kernel_amd64.s).
+func cpuidFeatures() uint32
+
+// AccelAvailable reports whether the vectorized GF(256) fast path is active
+// on this CPU; benchmarks use it to decide whether the hard kernel-speedup
+// gate applies or only the portable row kernel is in play.
+func AccelAvailable() bool { return hasSSSE3 }
+
+// mulAddNib runs the SSSE3 kernel over n bytes (n must be a multiple of
+// 16) of dst ^= c*src (implemented in kernel_amd64.s).
+//
+//go:noescape
+func mulAddNib(dst, src *byte, n int, tab *nibTab)
+
+func (a *accelState) tab(c byte) *nibTab {
+	if t := a.nibs[c].Load(); t != nil {
+		return t
+	}
+	var t nibTab
+	for n := 0; n < 16; n++ {
+		t[n] = gfMul(c, byte(n))
+		t[16+n] = gfMul(c, byte(n<<4))
+	}
+	a.nibs[c].Store(&t)
+	return &t
+}
+
+// mulAddAccel applies dst ^= coef*src with the SSSE3 kernel, finishing any
+// sub-16-byte tail with per-byte gfMul. It reports false when the CPU
+// lacks SSSE3 or the slice is too short to cover one XMM register, leaving
+// the work to the portable row kernel.
+func mulAddAccel(c *Coder, dst, src []byte, coef byte) bool {
+	n := len(src)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	if !hasSSSE3 || n < 16 {
+		return false
+	}
+	n16 := n &^ 15
+	mulAddNib(&dst[0], &src[0], n16, c.accel.tab(coef))
+	for i := n16; i < n; i++ {
+		dst[i] ^= gfMul(coef, src[i])
+	}
+	return true
+}

@@ -1,0 +1,83 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuidFeatures() uint32
+// Returns ECX of CPUID leaf 1 (bit 9 = SSSE3).
+TEXT ·cpuidFeatures(SB), NOSPLIT, $0-4
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, ret+0(FP)
+	RET
+
+// func mulAddNib(dst, src *byte, n int, tab *nibTab)
+// dst[i] ^= tLo[src[i]&0x0f] ^ tHi[src[i]>>4] for i in [0, n); n must be a
+// multiple of 16. PSHUFB does sixteen 4-bit lookups per instruction; the
+// two tables live in X6/X7 for the whole loop.
+TEXT ·mulAddNib(SB), NOSPLIT, $0-32
+	MOVQ  dst+0(FP), DI
+	MOVQ  src+8(FP), SI
+	MOVQ  n+16(FP), CX
+	MOVQ  tab+24(FP), AX
+	MOVOU (AX), X6            // low-nibble table
+	MOVOU 16(AX), X7          // high-nibble table
+	MOVOU nibMask<>(SB), X5   // 0x0f in every lane
+
+loop32:
+	CMPQ  CX, $32
+	JL    loop16
+	MOVOU (SI), X0
+	MOVOU 16(SI), X8
+	MOVOU X0, X1
+	MOVOU X8, X9
+	PSRLQ $4, X1
+	PSRLQ $4, X9
+	PAND  X5, X0              // low nibbles
+	PAND  X5, X1              // high nibbles
+	PAND  X5, X8
+	PAND  X5, X9
+	MOVOU X6, X2
+	MOVOU X7, X3
+	MOVOU X6, X10
+	MOVOU X7, X11
+	PSHUFB X0, X2             // tLo[lo]
+	PSHUFB X1, X3             // tHi[hi]
+	PSHUFB X8, X10
+	PSHUFB X9, X11
+	PXOR  X3, X2              // c*src bytes
+	PXOR  X11, X10
+	MOVOU (DI), X0
+	MOVOU 16(DI), X8
+	PXOR  X2, X0              // accumulate into dst
+	PXOR  X10, X8
+	MOVOU X0, (DI)
+	MOVOU X8, 16(DI)
+	ADDQ  $32, SI
+	ADDQ  $32, DI
+	SUBQ  $32, CX
+	JMP   loop32
+
+loop16:
+	CMPQ  CX, $16
+	JL    done
+	MOVOU (SI), X0
+	MOVOU X0, X1
+	PSRLQ $4, X1
+	PAND  X5, X0
+	PAND  X5, X1
+	MOVOU X6, X2
+	MOVOU X7, X3
+	PSHUFB X0, X2
+	PSHUFB X1, X3
+	PXOR  X3, X2
+	MOVOU (DI), X0
+	PXOR  X2, X0
+	MOVOU X0, (DI)
+
+done:
+	RET
+
+DATA nibMask<>+0(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibMask<>+8(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibMask<>(SB), RODATA, $16

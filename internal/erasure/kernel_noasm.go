@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package erasure
+
+// accelState is empty on platforms without an assembly fast path; MulAdd
+// always runs the portable table-driven row kernel.
+type accelState struct{}
+
+// AccelAvailable reports whether a vectorized GF(256) fast path is active:
+// never, on platforms without one.
+func AccelAvailable() bool { return false }
+
+func mulAddAccel(c *Coder, dst, src []byte, coef byte) bool { return false }

@@ -7,6 +7,12 @@ import "fmt"
 type Coder struct {
 	k, m   int
 	matrix [][]byte // (k+m)×k encoding matrix; top k rows are identity
+	// rows caches one 256-byte multiplication row per coefficient for the
+	// table-driven kernel (kernel.go); lazily filled, safe for concurrent
+	// Encode/Decode. accel holds the architecture-specific fast-path
+	// tables (empty on platforms without one).
+	rows  rowCache
+	accel accelState
 }
 
 // New returns a Coder for k data and m parity shards. It panics unless
@@ -70,7 +76,7 @@ func (c *Coder) Encode(data []byte) [][]byte {
 		p := make([]byte, shardLen)
 		row := c.matrix[c.k+i]
 		for j := 0; j < c.k; j++ {
-			mulAddSlice(p, shards[j], row[j])
+			c.MulAdd(p, shards[j], row[j])
 		}
 		shards[c.k+i] = p
 	}
@@ -142,7 +148,7 @@ func (c *Coder) Decode(shards [][]byte, size int) ([]byte, error) {
 		}
 		out := make([]byte, shardLen)
 		for j := 0; j < c.k; j++ {
-			mulAddSlice(out, sub[j], rows[i][j])
+			c.MulAdd(out, sub[j], rows[i][j])
 		}
 		rebuilt[i] = out
 	}

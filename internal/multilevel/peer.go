@@ -2,12 +2,28 @@ package multilevel
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/erasure"
 	"repro/internal/netsim"
 )
+
+// decodeWorkers sizes the reconstruction pool: one worker per core up to
+// the page count, and no pool at all for narrow loads where goroutine
+// startup would cost more than the decode.
+func decodeWorkers(pages int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > pages {
+		w = pages
+	}
+	if pages < 8 {
+		return 1
+	}
+	return w
+}
 
 // PeerNode is one remote node of the peer tier. It holds erasure shards in
 // its memory (modeling a partner node's ramdisk) and may be backed by a
@@ -208,6 +224,12 @@ func (t *PeerTier) Degraded(epoch uint64) bool {
 
 // Load implements Tier: it gathers whatever shards survive on the peers and
 // reconstructs every page, succeeding as long as k shards per page remain.
+// Shard gathering is serial — each fetch is a link transfer whose (virtual)
+// time is the real cost being modeled — but the k-of-n reconstruction of
+// the gathered pages is pure CPU, so it fans out across a worker pool
+// sized to GOMAXPROCS. The workers are plain goroutines, not env
+// processes: they touch no links, clocks or env primitives, so they are
+// safe under the deterministic kernel (which they cost no virtual time).
 func (t *PeerTier) Load(epoch uint64) (*EpochData, error) {
 	t.mu.Lock()
 	meta, ok := t.meta[epoch]
@@ -220,10 +242,9 @@ func (t *PeerTier) Load(epoch uint64) (*EpochData, error) {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
-	pages := make(map[int][]byte, len(meta.sizes))
-	shards := make([][]byte, t.width())
-	for _, id := range ids {
-		size := meta.sizes[id]
+	sets := make([][][]byte, len(ids))
+	for j, id := range ids {
+		shards := make([][]byte, t.width())
 		for i := range shards {
 			n := t.node(meta.start, i)
 			shards[i] = n.get(epoch, id)
@@ -231,11 +252,43 @@ func (t *PeerTier) Load(epoch uint64) (*EpochData, error) {
 				shards[i] = nil // partitioned link: the shard is unreachable
 			}
 		}
-		data, err := t.coder.Decode(shards, size)
-		if err != nil {
-			return nil, fmt.Errorf("multilevel: peer tier %s epoch %d page %d: %w", t.name, epoch, id, err)
+		sets[j] = shards
+	}
+	out := make([][]byte, len(ids))
+	errs := make([]error, len(ids))
+	decode := func(j int) {
+		out[j], errs[j] = t.coder.Decode(sets[j], meta.sizes[ids[j]])
+	}
+	if workers := decodeWorkers(len(ids)); workers <= 1 {
+		for j := range ids {
+			decode(j)
 		}
-		pages[id] = data
+	} else {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					j := int(cursor.Add(1)) - 1
+					if j >= len(ids) {
+						return
+					}
+					decode(j)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	pages := make(map[int][]byte, len(ids))
+	for j, id := range ids {
+		if errs[j] != nil {
+			// Lowest page wins so the surfaced error is deterministic
+			// regardless of worker interleaving.
+			return nil, fmt.Errorf("multilevel: peer tier %s epoch %d page %d: %w", t.name, epoch, id, errs[j])
+		}
+		pages[id] = out[j]
 	}
 	// Page size is not stored per epoch on the peers; infer it from the
 	// largest page (pages are full-sized except possibly compressed ones,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/ckpt"
 	"repro/internal/obs"
@@ -21,6 +22,28 @@ type RestoreStep struct {
 	Detail string
 }
 
+// RestoreOptions tunes RestoreWith.
+type RestoreOptions struct {
+	// Workers is the number of concurrent epoch loaders. Each loader
+	// probes the tiers fastest-first for one epoch (exactly the serial
+	// probe order), so tier loads for *different* epochs overlap — epoch
+	// N+1's probe/load runs while epoch N folds — while the fold itself
+	// stays in strict chain order. The image, the per-epoch RestoreSteps
+	// and the SpanRestore sources are identical to a serial restore; only
+	// the wall (or virtual) time shrinks. 0 or 1 restores serially.
+	Workers int
+}
+
+// epochLoad is one loader's result for one epoch, handed to the folder.
+type epochLoad struct {
+	done       bool
+	ep         *EpochData
+	from       string
+	level      int8
+	fallbacks  []string
+	start, end time.Duration
+}
+
 // Restore folds the checkpoint chain back into a memory image, reading
 // each epoch from the fastest tier that can still deliver it: L1 if its
 // files survive, otherwise reconstruction from any k of k+m erasure shards
@@ -33,7 +56,15 @@ type RestoreStep struct {
 // newest and stops at the first epoch no tier can recover — the restart
 // point is the last epoch of the intact prefix. The returned steps
 // document the per-epoch source.
+//
+// Restore is serial (one epoch in flight at a time); RestoreWith overlaps
+// tier loads across epochs.
 func (h *Hierarchy) Restore() (*ckpt.Image, []RestoreStep, error) {
+	return h.RestoreWith(RestoreOptions{})
+}
+
+// RestoreWith is Restore with explicit options.
+func (h *Hierarchy) RestoreWith(opt RestoreOptions) (*ckpt.Image, []RestoreStep, error) {
 	im := &ckpt.Image{PageSize: h.pageSize, Pages: map[int][]byte{}}
 	var steps []RestoreStep
 	folded := 0
@@ -41,7 +72,10 @@ func (h *Hierarchy) Restore() (*ckpt.Image, []RestoreStep, error) {
 	// Try the local tier's compacted base first.
 	var skipTo uint64
 	if ch, err := ckpt.LoadChain(h.local.FS()); err == nil && ch.Base != nil {
-		bstart := h.obs.Now()
+		var bstart time.Duration
+		if h.obs != nil {
+			bstart = h.obs.Now()
+		}
 		if pages, err := ckpt.ReadBasePages(h.local.FS(), *ch.Base); err == nil {
 			for id, data := range pages {
 				im.Pages[id] = data
@@ -94,46 +128,140 @@ func (h *Hierarchy) Restore() (*ckpt.Image, []RestoreStep, error) {
 	}
 	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
 
-	for _, epoch := range epochs {
-		var fallbacks []string
-		var ep *EpochData
-		var from string
-		var level int8
-		rstart := h.obs.Now()
-		for li, t := range tiers {
-			loaded, err := t.Load(epoch)
-			if err != nil {
-				fallbacks = append(fallbacks, fmt.Sprintf("%s: %v", t.Name(), err))
-				continue
-			}
-			ep, from, level = loaded, t.Name(), int8(li)
-			break
-		}
-		if ep == nil {
-			steps = append(steps, RestoreStep{Epoch: epoch, Detail: "unrecoverable: " + strings.Join(fallbacks, "; ")})
-			break // incremental chain broken; restart point is the previous epoch
-		}
-		for id, data := range ep.Pages {
-			im.Pages[id] = data
-		}
-		im.Epoch = epoch
-		im.SegmentsRead++
-		folded++
-		if h.obs != nil {
-			rend := h.obs.Now()
-			h.obs.RestoreEpochs.Inc()
-			h.obs.RestorePages.Add(uint64(len(ep.Pages)))
-			h.obs.TraceAt(rend, obs.StageRestore, epoch, -1, level, int64(len(ep.Pages)))
-			// The restore span's tier is the level that finally served
-			// the epoch; its duration includes the failed probes of the
-			// faster tiers above it — that lost time is real restore
-			// latency and belongs to this epoch.
-			h.obs.Span(obs.SpanRestore, epoch, level, rstart, rend)
-		}
-		steps = append(steps, RestoreStep{Epoch: epoch, Tier: from, Detail: strings.Join(fallbacks, "; ")})
+	workers := opt.Workers
+	if workers > len(epochs) {
+		workers = len(epochs)
+	}
+	if workers > 1 {
+		steps, folded = h.restorePipelined(im, tiers, epochs, steps, folded, workers)
+	} else {
+		steps, folded = h.restoreSerial(im, tiers, epochs, steps, folded)
 	}
 	if folded == 0 {
 		return nil, steps, fmt.Errorf("multilevel: epoch %d unrecoverable on every tier", epochs[0])
 	}
 	return im, steps, nil
+}
+
+// loadEpoch probes the tiers fastest-first for one epoch, timing the whole
+// probe sequence: a failed probe of a faster tier is real restore latency
+// and belongs to the epoch's span.
+func (h *Hierarchy) loadEpoch(tiers []Tier, epoch uint64) epochLoad {
+	var r epochLoad
+	if h.obs != nil {
+		r.start = h.obs.Now()
+	}
+	for li, t := range tiers {
+		loaded, err := t.Load(epoch)
+		if err != nil {
+			r.fallbacks = append(r.fallbacks, fmt.Sprintf("%s: %v", t.Name(), err))
+			continue
+		}
+		r.ep, r.from, r.level = loaded, t.Name(), int8(li)
+		break
+	}
+	if h.obs != nil {
+		r.end = h.obs.Now()
+	}
+	return r
+}
+
+// foldEpoch merges one loaded epoch into the image and records its step,
+// span and counters. Returns false when the epoch was unrecoverable: the
+// incremental chain is broken and the restart point is the previous epoch.
+func (h *Hierarchy) foldEpoch(im *ckpt.Image, epoch uint64, r epochLoad, steps *[]RestoreStep) bool {
+	if r.ep == nil {
+		*steps = append(*steps, RestoreStep{Epoch: epoch, Detail: "unrecoverable: " + strings.Join(r.fallbacks, "; ")})
+		return false
+	}
+	for id, data := range r.ep.Pages {
+		im.Pages[id] = data
+	}
+	im.Epoch = epoch
+	im.SegmentsRead++
+	if h.obs != nil {
+		h.obs.RestoreEpochs.Inc()
+		h.obs.RestorePages.Add(uint64(len(r.ep.Pages)))
+		h.obs.TraceAt(r.end, obs.StageRestore, epoch, -1, r.level, int64(len(r.ep.Pages)))
+		// The restore span's tier is the level that finally served the
+		// epoch; its duration includes the failed probes of the faster
+		// tiers above it — that lost time is real restore latency and
+		// belongs to this epoch.
+		h.obs.Span(obs.SpanRestore, epoch, r.level, r.start, r.end)
+	}
+	*steps = append(*steps, RestoreStep{Epoch: epoch, Tier: r.from, Detail: strings.Join(r.fallbacks, "; ")})
+	return true
+}
+
+// restoreSerial loads and folds one epoch at a time — the historical
+// restore: span N+1 starts exactly where span N ended.
+func (h *Hierarchy) restoreSerial(im *ckpt.Image, tiers []Tier, epochs []uint64, steps []RestoreStep, folded int) ([]RestoreStep, int) {
+	for _, epoch := range epochs {
+		if !h.foldEpoch(im, epoch, h.loadEpoch(tiers, epoch), &steps) {
+			break
+		}
+		folded++
+	}
+	return steps, folded
+}
+
+// restorePipelined overlaps tier probe/loads across epochs: a pool of
+// loader processes claims epochs in chain order and loads them
+// concurrently (each with the serial fastest-tier-first probe order) while
+// this process folds finished epochs strictly in chain order. Loaders run
+// on h.env processes, so under the virtual-time kernel concurrent tier
+// transfers contend for the same simulated links a real parallel restore
+// would. On an unrecoverable epoch the fold stops at the intact prefix,
+// in-flight loads beyond it are discarded, and the loaders drain before
+// returning.
+func (h *Hierarchy) restorePipelined(im *ckpt.Image, tiers []Tier, epochs []uint64, steps []RestoreStep, folded int, workers int) ([]RestoreStep, int) {
+	mu := h.env.NewMutex()
+	cond := h.env.NewCond(mu)
+	loads := make([]epochLoad, len(epochs))
+	next := 0
+	active := workers
+	worker := func() {
+		for {
+			mu.Lock()
+			i := next
+			if i >= len(epochs) {
+				active--
+				cond.Broadcast()
+				mu.Unlock()
+				return
+			}
+			next++
+			mu.Unlock()
+			r := h.loadEpoch(tiers, epochs[i])
+			mu.Lock()
+			r.done = true
+			loads[i] = r
+			cond.Broadcast()
+			mu.Unlock()
+		}
+	}
+	for w := 0; w < workers; w++ {
+		h.env.Go(fmt.Sprintf("restore-%d", w), worker)
+	}
+	for i, epoch := range epochs {
+		mu.Lock()
+		for !loads[i].done {
+			cond.Wait()
+		}
+		r := loads[i]
+		mu.Unlock()
+		if !h.foldEpoch(im, epoch, r, &steps) {
+			mu.Lock()
+			next = len(epochs) // cancel unclaimed epochs past the break
+			mu.Unlock()
+			break
+		}
+		folded++
+	}
+	mu.Lock()
+	for active > 0 {
+		cond.Wait()
+	}
+	mu.Unlock()
+	return steps, folded
 }

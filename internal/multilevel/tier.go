@@ -104,6 +104,12 @@ type LocalTier struct {
 	repo     *ckpt.Repository
 	timing   storage.Backend // optional; models transfer cost only
 	pageSize int
+	// chargeReads bills Load's page reads to the timing backend (when it
+	// models reads). Off by default: write-side simulations pinned their
+	// virtual timelines before read modeling existed, and the drainer
+	// loads every epoch from L1 — charging those reads would shift every
+	// established drain timestamp. Restore benchmarks opt in.
+	chargeReads bool
 
 	// storeMu serializes whole-epoch Store calls: the repository keeps one
 	// epoch open at a time. It is an Env mutex so holding it across
@@ -181,13 +187,31 @@ func (t *LocalTier) Store(ep *EpochData) error {
 	return nil
 }
 
-// Load implements Tier, verifying record hashes on the way back.
+// SetChargeReads makes Load bill each page it reads to the timing backend
+// (which must implement storage.PageReader; a no-op otherwise or with no
+// timing model). Call it before restoring, from the process that owns the
+// tier — it must not race with in-flight loads.
+func (t *LocalTier) SetChargeReads(enabled bool) { t.chargeReads = enabled }
+
+// Load implements Tier, verifying record hashes on the way back. With
+// SetChargeReads the pages read are charged to the timing model in a
+// deterministic (ascending page) order.
 func (t *LocalTier) Load(epoch uint64) (*EpochData, error) {
 	m, pages, err := ckpt.EpochPages(t.fs, epoch)
 	if err != nil {
 		return nil, err
 	}
-	return newEpochData(epoch, m.PageSize, pages), nil
+	ep := newEpochData(epoch, m.PageSize, pages)
+	if t.chargeReads {
+		if r, ok := t.timing.(storage.PageReader); ok {
+			for _, id := range ep.PageIDs {
+				if err := r.ReadPage(epoch, id, len(ep.Pages[id])); err != nil {
+					return nil, fmt.Errorf("multilevel: tier %s epoch %d page %d read: %w", t.name, epoch, id, err)
+				}
+			}
+		}
+	}
+	return ep, nil
 }
 
 // Has implements EpochHolder: a sealed manifest implies a complete copy

@@ -37,6 +37,15 @@ type Backend interface {
 	EndEpoch(epoch uint64) error
 }
 
+// PageReader models the read-side cost of a medium: ReadPage accounts for
+// fetching size bytes of one page (occupying the same simulated links a
+// write would). Timing backends implement it so restore paths can charge
+// reads in virtual time; read charging is opt-in at the tier level to keep
+// the virtual timelines of write-side simulations unchanged.
+type PageReader interface {
+	ReadPage(epoch uint64, page int, size int) error
+}
+
 // NullStore discards everything instantly. It isolates the page-manager
 // algorithm from I/O in microbenchmarks.
 type NullStore struct{}

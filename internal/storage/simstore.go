@@ -37,6 +37,13 @@ func (d *SimDisk) EndEpoch(epoch uint64) error {
 	return nil
 }
 
+// ReadPage implements PageReader: reads occupy the disk link exactly like
+// writes (the medium is symmetric at this model's granularity).
+func (d *SimDisk) ReadPage(epoch uint64, page int, size int) error {
+	d.link.Transfer(int64(size))
+	return nil
+}
+
 // Link exposes the underlying link for stats.
 func (d *SimDisk) Link() *netsim.Link { return d.link }
 
@@ -79,3 +86,15 @@ func (p *SimPFS) WritePage(epoch uint64, page int, data []byte, size int) error 
 
 // EndEpoch implements Backend.
 func (p *SimPFS) EndEpoch(epoch uint64) error { return nil }
+
+// ReadPage implements PageReader: a read serializes on the client NIC and
+// the page's stripe server just like a write, so concurrent restore
+// readers touching different pages aggregate server bandwidth the same way
+// parallel writers do.
+func (p *SimPFS) ReadPage(epoch uint64, page int, size int) error {
+	if p.nic != nil {
+		p.nic.Transfer(int64(size))
+	}
+	p.servers[page%len(p.servers)].Transfer(int64(size))
+	return nil
+}

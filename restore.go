@@ -19,7 +19,9 @@ type Image struct {
 }
 
 // Page returns the restored content of a global page ID (zeros if the page
-// was never checkpointed).
+// was never checkpointed). For never-checkpointed pages the returned slice
+// is a shared read-only zero page: treat it as immutable and copy it
+// before writing.
 func (im *Image) Page(id int) []byte { return im.inner.PageOr(id) }
 
 // SegmentsRead reports how many segments the restore parsed. With a
@@ -40,12 +42,19 @@ func (im *Image) PageIDs() []int {
 // Restore reads the checkpoint repository in dir and folds all sealed
 // epochs into a memory image. Epochs interrupted by a crash before sealing
 // are ignored: the restart point is the last completed checkpoint.
-func Restore(dir string) (*Image, error) {
+// Segments are parsed by min(GOMAXPROCS, 8) concurrent readers and folded
+// in chain order, so the image is bit-identical to a serial restore; use
+// RestoreWorkers to pin the worker count (1 = serial).
+func Restore(dir string) (*Image, error) { return RestoreWorkers(dir, 0) }
+
+// RestoreWorkers is Restore with an explicit segment-reader count:
+// 1 restores serially, 0 picks min(GOMAXPROCS, 8).
+func RestoreWorkers(dir string, workers int) (*Image, error) {
 	fs, err := ckpt.NewOSFS(dir)
 	if err != nil {
 		return nil, err
 	}
-	im, err := ckpt.Restore(fs)
+	im, err := ckpt.RestoreWith(fs, ckpt.RestoreOptions{Workers: workers})
 	if err != nil {
 		return nil, err
 	}
